@@ -1,0 +1,88 @@
+"""Ablation — incremental insertion vs one-shot bulk loading.
+
+The paper's construction phase inserts in bulks of 1,000 through the
+encryption client; the index itself still splits cells incrementally,
+rewriting every overflowing bucket. ``MIndex.bulk_load`` partitions
+top-down and writes each cell once — on a disk backend that is the
+difference between O(n log n) and O(n) bucket I/O.
+"""
+
+import numpy as np
+import pytest
+from conftest import save_result
+
+from repro.core.records import IndexedRecord, vector_to_payload
+from repro.evaluation.tables import format_matrix
+from repro.metric.permutations import pivot_permutations
+from repro.mindex.index import MIndex
+from repro.storage.disk import DiskStorage
+from repro.storage.memory import MemoryStorage
+
+
+@pytest.fixture(scope="module")
+def described_records(yeast):
+    rng = np.random.default_rng(0)
+    pivots = yeast.vectors[
+        rng.choice(yeast.n_records, yeast.n_pivots, replace=False)
+    ]
+    matrix = np.stack(
+        [yeast.distance.batch(p, yeast.vectors) for p in pivots]
+    ).T
+    perms = pivot_permutations(matrix)
+    return [
+        IndexedRecord(
+            oid, perms[oid], None, vector_to_payload(yeast.vectors[oid])
+        )
+        for oid in range(yeast.n_records)
+    ]
+
+
+def test_ablation_bulk_load(described_records, yeast, tmp_path, benchmark):
+    import time
+
+    rows = []
+    writes = {}
+    for method in ("bulk_insert", "bulk_load"):
+        for backend_name in ("memory", "disk"):
+            if backend_name == "memory":
+                storage = MemoryStorage()
+            else:
+                storage = DiskStorage(tmp_path / f"{method}-{backend_name}")
+            index = MIndex(
+                yeast.n_pivots, yeast.bucket_capacity, storage
+            )
+            start = time.perf_counter()
+            getattr(index, method)(described_records)
+            elapsed = time.perf_counter() - start
+            writes[(method, backend_name)] = storage.writes
+            rows.append(
+                (
+                    f"{method} / {backend_name}",
+                    [
+                        f"{elapsed:.3f}",
+                        str(storage.writes),
+                        f"{storage.bytes_written / 1e6:.1f}",
+                    ],
+                )
+            )
+            assert len(index) == yeast.n_records
+    text = format_matrix(
+        "Ablation: incremental insert vs bulk load (YEAST records)",
+        ["build time [s]", "bucket writes", "MB written"],
+        rows,
+        row_header="Method / backend",
+    )
+    save_result("ablation_bulk_load", text)
+
+    # bulk load must write far fewer buckets
+    assert writes[("bulk_load", "disk")] < writes[("bulk_insert", "disk")] / 5
+
+    # benchmark: bulk-loading the whole collection into memory
+    def build():
+        index = MIndex(
+            yeast.n_pivots, yeast.bucket_capacity, MemoryStorage()
+        )
+        index.bulk_load(described_records)
+        return index
+
+    benchmark(build)

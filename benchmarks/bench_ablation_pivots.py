@@ -1,0 +1,136 @@
+"""Ablation — pivot count and pivot-selection strategy.
+
+The number of pivots is the M-Index's central knob (Table 2 fixes it
+per data set; this ablation shows why 30 is a sensible YEAST choice):
+more pivots mean finer Voronoi cells and better candidate ranking, but
+also more client-side distance computations per insert/query and a
+larger secret key. The second experiment compares the paper's random
+pivot selection with max-min (farthest-first) selection.
+"""
+
+import numpy as np
+import pytest
+from conftest import save_result
+
+from repro.core.client import Strategy
+from repro.core.cloud import SimilarityCloud
+from repro.datasets.registry import Dataset
+from repro.evaluation.metrics import exact_knn, recall
+from repro.evaluation.tables import format_matrix
+
+
+def _recall_at(cloud, dataset, k, cand_size, n_queries=30):
+    client = cloud.new_client()
+    client.reset_accounting()
+    scores = []
+    for q in dataset.queries[:n_queries]:
+        truth = exact_knn(dataset.distance, dataset.vectors, q, k)
+        hits = client.knn_search(q, k, cand_size=cand_size)
+        scores.append(recall([h.oid for h in hits], truth))
+    return float(np.mean(scores)), client.report().scaled(n_queries)
+
+
+def test_ablation_pivot_count(yeast, benchmark):
+    cand_size = 300
+    rows = []
+    recalls = {}
+    for n_pivots in (5, 15, 30, 60):
+        cloud = SimilarityCloud.build(
+            yeast.vectors,
+            distance=yeast.distance,
+            n_pivots=n_pivots,
+            bucket_capacity=yeast.bucket_capacity,
+            strategy=Strategy.APPROXIMATE,
+            seed=0,
+        )
+        cloud.owner.outsource(yeast.oids(), yeast.vectors)
+        construction = cloud.owner.client.report()
+        recall_pct, search_report = _recall_at(cloud, yeast, 30, cand_size)
+        recalls[n_pivots] = recall_pct
+        rows.append(
+            (
+                str(n_pivots),
+                [
+                    f"{recall_pct:.1f}",
+                    f"{construction.distance_time:.3f}",
+                    f"{search_report.overall_time * 1e3:.2f}",
+                    str(cloud.server.index.n_cells),
+                ],
+            )
+        )
+    text = format_matrix(
+        f"Ablation: pivot count (YEAST, 30-NN, CandSize={cand_size})",
+        [
+            "recall [%]",
+            "constr. dist time [s]",
+            "search overall [ms]",
+            "leaf cells",
+        ],
+        rows,
+        row_header="# pivots",
+    )
+    save_result("ablation_pivot_count", text)
+
+    # more pivots must not hurt recall much; very few pivots must hurt
+    assert recalls[30] > recalls[5] - 5.0
+    assert max(recalls.values()) == pytest.approx(
+        recalls[max(recalls, key=recalls.get)]
+    )
+
+    # benchmark: key generation at the paper's pivot count
+    from repro.crypto.keys import SecretKey
+
+    benchmark(
+        lambda: SecretKey.generate(
+            yeast.vectors, 30, rng=np.random.default_rng(1)
+        )
+    )
+
+
+def test_ablation_pivot_selection(yeast, benchmark):
+    rows = []
+    measured = {}
+    for strategy in ("random", "maxmin"):
+        cloud = SimilarityCloud.build(
+            yeast.vectors,
+            distance=yeast.distance,
+            n_pivots=yeast.n_pivots,
+            bucket_capacity=yeast.bucket_capacity,
+            strategy=Strategy.APPROXIMATE,
+            seed=0,
+            pivot_strategy=strategy,
+        )
+        cloud.owner.outsource(yeast.oids(), yeast.vectors)
+        recall_pct, _report = _recall_at(cloud, yeast, 30, 300)
+        measured[strategy] = recall_pct
+        rows.append(
+            (
+                strategy,
+                [f"{recall_pct:.1f}", str(cloud.server.index.n_cells)],
+            )
+        )
+    text = format_matrix(
+        "Ablation: pivot selection strategy (YEAST, 30-NN, CandSize=300)",
+        ["recall [%]", "leaf cells"],
+        rows,
+        row_header="Selection",
+    )
+    save_result("ablation_pivot_selection", text)
+    # both must be in a sane band; the paper used random and got >80%
+    assert measured["random"] > 60.0
+    assert measured["maxmin"] > 60.0
+
+    # benchmark: max-min pivot selection itself
+    from repro.metric.pivots import select_pivots
+    from repro.metric.space import MetricSpace
+
+    space = MetricSpace(yeast.distance, yeast.dimension)
+    benchmark(
+        lambda: select_pivots(
+            yeast.vectors,
+            yeast.n_pivots,
+            strategy="maxmin",
+            rng=np.random.default_rng(0),
+            space=space,
+        )
+    )

@@ -1,0 +1,107 @@
+"""Ablation — precise vs approximate evaluation strategies (paper §6).
+
+The paper's first named piece of future work: "analyze the precise
+range and k-NN evaluation strategies of Encrypted M-Index in
+comparison to the approximate strategy". This bench runs the same
+30-NN workload three ways on the same collection:
+
+* approximate k-NN at several candidate budgets (what §5.3 measured),
+* precise k-NN (approximate pass + confirming range query),
+* and reports cost vs guarantee: the precise strategy buys recall=100%
+  at the price of a second round trip and a candidate set sized by the
+  true rho_k ball rather than a fixed budget.
+"""
+
+import numpy as np
+import pytest
+from conftest import N_QUERIES_SMALL, save_result
+
+from repro.core.client import Strategy
+from repro.evaluation.metrics import exact_knn, recall
+from repro.evaluation.runner import run_encrypted_construction
+from repro.evaluation.tables import format_matrix
+
+
+@pytest.fixture(scope="module")
+def precise_cloud(yeast):
+    cloud, _ = run_encrypted_construction(
+        yeast, strategy=Strategy.PRECISE, seed=0
+    )
+    return cloud
+
+
+def test_ablation_precise_vs_approximate(precise_cloud, yeast, benchmark):
+    n_queries = min(N_QUERIES_SMALL, 50)
+    queries = yeast.queries[:n_queries]
+    truth = [
+        exact_knn(yeast.distance, yeast.vectors, q, 30) for q in queries
+    ]
+    rows = []
+
+    # approximate at three budgets
+    approx_stats = {}
+    for cand_size in (150, 600, 1500):
+        client = precise_cloud.new_client()
+        client.reset_accounting()
+        recalls = [
+            recall(
+                [h.oid for h in client.knn_search(q, 30, cand_size=cand_size)],
+                t,
+            )
+            for q, t in zip(queries, truth)
+        ]
+        report = client.report().scaled(n_queries)
+        approx_stats[cand_size] = (float(np.mean(recalls)), report)
+        rows.append(
+            (
+                f"approx, CandSize={cand_size}",
+                [
+                    f"{np.mean(recalls):.1f}",
+                    f"{report.overall_time * 1e3:.2f}",
+                    f"{report.communication_kb:.1f}",
+                    "1",
+                ],
+            )
+        )
+
+    # precise k-NN: guaranteed exact
+    client = precise_cloud.new_client()
+    client.reset_accounting()
+    precise_recalls = [
+        recall([h.oid for h in client.knn_precise(q, 30)], t)
+        for q, t in zip(queries, truth)
+    ]
+    precise_report = client.report().scaled(n_queries)
+    rows.append(
+        (
+            "precise (rho_k + range)",
+            [
+                f"{np.mean(precise_recalls):.1f}",
+                f"{precise_report.overall_time * 1e3:.2f}",
+                f"{precise_report.communication_kb:.1f}",
+                "2",
+            ],
+        )
+    )
+    text = format_matrix(
+        "Ablation (paper §6 future work): precise vs approximate 30-NN "
+        "(YEAST, per query)",
+        ["recall [%]", "overall [ms]", "comm [kB]", "round trips"],
+        rows,
+        row_header="Strategy",
+    )
+    save_result("ablation_precise_vs_approx", text)
+
+    # the precise strategy is exact, always
+    assert float(np.mean(precise_recalls)) == 100.0
+    # and costs more than a small-budget approximate query, but not
+    # orders of magnitude more than the large-budget one
+    small_recall, small_report = approx_stats[150]
+    big_recall, big_report = approx_stats[1500]
+    assert precise_report.overall_time > small_report.overall_time
+    assert precise_report.overall_time < 20 * big_report.overall_time
+
+    # benchmark: one precise 30-NN query
+    query = yeast.queries[0]
+    bench_client = precise_cloud.new_client()
+    benchmark(lambda: bench_client.knn_precise(query, 30))

@@ -1,0 +1,90 @@
+"""Ablation — the pre-ranked candidate set (§4.2).
+
+"S_C retrieved from the server is pre-ranked, therefore the client can
+choose to decrypt and compute distances only for candidates with the
+highest rank to speed up the search process." This bench fixes the
+candidate budget and sweeps the *refine limit*: how much recall does a
+resource-constrained client (the paper's 'simple device') keep when it
+decrypts only the head of the set?
+"""
+
+import numpy as np
+import pytest
+from conftest import save_result
+
+from repro.core.client import Strategy
+from repro.evaluation.metrics import exact_knn, recall
+from repro.evaluation.runner import run_encrypted_construction
+from repro.evaluation.tables import format_matrix
+
+_CAND_SIZE = 600
+_LIMITS = [60, 150, 300, 600]
+_K = 30
+_N_QUERIES = 50
+
+
+@pytest.fixture(scope="module")
+def cloud(yeast):
+    built, _ = run_encrypted_construction(
+        yeast, strategy=Strategy.APPROXIMATE, seed=0
+    )
+    return built
+
+
+def test_ablation_preranked_refinement(cloud, yeast, benchmark):
+    queries = yeast.queries[:_N_QUERIES]
+    truth = [
+        exact_knn(yeast.distance, yeast.vectors, q, _K) for q in queries
+    ]
+    rows = []
+    recalls = {}
+    client_times = {}
+    for limit in _LIMITS:
+        client = cloud.new_client()
+        client.reset_accounting()
+        scores = []
+        for q, t in zip(queries, truth):
+            hits = client.knn_search(
+                q, _K, cand_size=_CAND_SIZE, refine_limit=limit
+            )
+            scores.append(recall([h.oid for h in hits], t))
+        report = client.report().scaled(_N_QUERIES)
+        recalls[limit] = float(np.mean(scores))
+        client_times[limit] = report.client_time
+        rows.append(
+            (
+                str(limit),
+                [
+                    f"{recalls[limit]:.1f}",
+                    f"{report.client_time * 1e3:.2f}",
+                    f"{report.decryption_time * 1e3:.2f}",
+                ],
+            )
+        )
+    text = format_matrix(
+        f"Ablation (§4.2): refining only the head of a pre-ranked "
+        f"{_CAND_SIZE}-candidate set (YEAST, {_K}-NN)",
+        ["recall [%]", "client [ms]", "decrypt [ms]"],
+        rows,
+        row_header="Refine limit",
+    )
+    save_result("ablation_preranking", text)
+
+    # the pre-ranking must front-load the answers: refining 25% of the
+    # set must retain well over half of the full-refinement recall,
+    # and the client time must drop roughly proportionally
+    full = recalls[_CAND_SIZE]
+    assert recalls[150] > 0.6 * full
+    assert client_times[60] < 0.5 * client_times[_CAND_SIZE]
+    # recall monotone in the refine limit
+    values = [recalls[limit] for limit in _LIMITS]
+    assert values == sorted(values)
+
+    # benchmark: a constrained-device query (refine 10% of the set)
+    query = yeast.queries[0]
+    bench_client = cloud.new_client()
+    benchmark(
+        lambda: bench_client.knn_search(
+            query, _K, cand_size=_CAND_SIZE, refine_limit=60
+        )
+    )

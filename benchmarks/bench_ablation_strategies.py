@@ -1,0 +1,152 @@
+"""Ablation — the three server-side representations.
+
+PRECISE vs TRANSFORMED vs APPROXIMATE on the same collection: what
+does each strategy cost in server pruning power, candidate volume and
+wall time, and what does each leak? This quantifies the §4.3/§6
+trade-off the paper discusses qualitatively: the transformation layer
+buys level-4 privacy at the price of the double-pivot pruning rule.
+"""
+
+import numpy as np
+import pytest
+from conftest import save_result
+
+from repro.core.client import Strategy
+from repro.evaluation.runner import run_encrypted_construction
+from repro.evaluation.tables import format_matrix
+from repro.mindex.index import RangeSearchStats
+from repro.privacy.attacks import DistanceDistributionAttack
+
+
+@pytest.fixture(scope="module")
+def clouds(yeast):
+    built = {}
+    for strategy in Strategy:
+        cloud, _ = run_encrypted_construction(
+            yeast, strategy=strategy, seed=0
+        )
+        built[strategy] = cloud
+    return built
+
+
+def _server_view(cloud):
+    records = []
+    for cell in cloud.server.storage.cells():
+        records.extend(cloud.server.storage.load(cell))
+    return records
+
+
+def test_ablation_range_pruning_power(clouds, yeast, benchmark):
+    """Range-query server work: PRECISE prunes hardest, TRANSFORMED
+    pays for privacy with more cell accesses, APPROXIMATE cannot serve
+    range queries at all."""
+    n_queries = 25
+    queries = yeast.queries[:n_queries]
+    rows = []
+    measured = {}
+    for strategy in (Strategy.PRECISE, Strategy.TRANSFORMED):
+        cloud = clouds[strategy]
+        client = cloud.new_client()
+        client.reset_accounting()
+        stats_total = RangeSearchStats()
+        candidates = 0
+        for q in queries:
+            q_dists = client.space.d_batch(q, client.secret_key.pivots)
+            radius = float(np.sort(q_dists)[2])  # a moderately small radius
+            stats = RangeSearchStats()
+            if strategy is Strategy.PRECISE:
+                cands = cloud.server.index.range_search(
+                    q_dists, radius, stats=stats
+                )
+            else:
+                lows = np.asarray(
+                    client.ope.encrypt(np.maximum(q_dists - radius, 0.0))
+                )
+                highs = np.asarray(client.ope.encrypt(q_dists + radius))
+                cands = cloud.server.index.range_search_transformed(
+                    lows, highs, stats=stats
+                )
+            candidates += len(cands)
+            stats_total.cells_examined += stats.cells_examined
+            stats_total.cells_accessed += stats.cells_accessed
+            stats_total.records_scanned += stats.records_scanned
+        measured[strategy] = (stats_total, candidates)
+        rows.append(
+            (
+                strategy.value,
+                [
+                    f"{stats_total.cells_accessed / n_queries:.1f}",
+                    f"{stats_total.records_scanned / n_queries:.1f}",
+                    f"{candidates / n_queries:.1f}",
+                ],
+            )
+        )
+    rows.append((Strategy.APPROXIMATE.value, ["-", "-", "unsupported"]))
+    text = format_matrix(
+        "Ablation: range-query server work per strategy (YEAST, "
+        "per-query averages)",
+        ["cells accessed", "records scanned", "candidates"],
+        rows,
+        row_header="Strategy",
+    )
+    save_result("ablation_strategies_pruning", text)
+
+    precise_stats, precise_cands = measured[Strategy.PRECISE]
+    transformed_stats, transformed_cands = measured[Strategy.TRANSFORMED]
+    # losing the double-pivot rule must never *help*
+    assert (
+        transformed_stats.cells_accessed >= precise_stats.cells_accessed
+    )
+    # but interval filtering keeps the candidate sets equal: both are
+    # exactly the pivot-filter survivors
+    assert transformed_cands == precise_cands
+
+    # benchmark: one transformed range query
+    cloud = clouds[Strategy.TRANSFORMED]
+    client = cloud.new_client()
+    q = queries[0]
+    benchmark(lambda: client.range_search(q, 20.0))
+
+
+def test_ablation_strategy_leakage(clouds, yeast, benchmark):
+    """What the server view reveals per strategy."""
+    rng = np.random.default_rng(0)
+    idx = rng.choice(yeast.n_records, 400, replace=False)
+    true_sample = np.array(
+        [
+            yeast.distance(yeast.vectors[i], yeast.vectors[j])
+            for i, j in zip(idx[:200], idx[200:])
+        ]
+    )
+    rows = []
+    scores = {}
+    for strategy in Strategy:
+        view = _server_view(clouds[strategy])
+        try:
+            score = DistanceDistributionAttack(view).leakage_score(
+                true_sample
+            )
+            leak = f"{score:.2f}"
+        except Exception:
+            score = 0.0
+            leak = "blocked (no distances stored)"
+        scores[strategy] = score
+        rows.append((strategy.value, [leak]))
+    text = format_matrix(
+        "Ablation: distance-distribution leakage score per strategy "
+        "(1.0 = full leak)",
+        ["leakage"],
+        rows,
+        row_header="Strategy",
+    )
+    save_result("ablation_strategies_leakage", text)
+
+    assert scores[Strategy.PRECISE] > 0.5
+    assert scores[Strategy.TRANSFORMED] < scores[Strategy.PRECISE]
+    assert scores[Strategy.APPROXIMATE] == 0.0
+
+    # benchmark: running the attack itself against the precise view
+    view = _server_view(clouds[Strategy.PRECISE])
+    benchmark(
+        lambda: DistanceDistributionAttack(view).leakage_score(true_sample)
+    )

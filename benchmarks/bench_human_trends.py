@@ -1,0 +1,79 @@
+"""HUMAN search trends — the paper's unprinted table, verified.
+
+§5.3: "Results for the HUMAN data set are not presented — the trends
+do not differ from YEAST (the sizes of the collections are very
+similar and the character of data and distance function is the same)."
+This bench runs the HUMAN sweep anyway and *asserts* the claimed
+sameness of trends: monotone saturating recall, linear communication
+cost, decryption-dominated client time, encrypted/plain contrast.
+"""
+
+import pytest
+from conftest import save_result
+
+from repro.core.client import Strategy
+from repro.evaluation.runner import (
+    run_encrypted_construction,
+    run_encrypted_search_sweep,
+    run_plain_construction,
+    run_plain_search_sweep,
+)
+from repro.evaluation.tables import format_search_table
+
+_CAND_SIZES = [200, 400, 800, 2000]  # ~ YEAST sweep scaled to 4,026
+_N_QUERIES = 50
+
+
+@pytest.fixture(scope="module")
+def human_sweeps(human):
+    cloud, _ = run_encrypted_construction(
+        human, strategy=Strategy.APPROXIMATE, seed=0
+    )
+    enc_rows = run_encrypted_search_sweep(
+        cloud.new_client(), human, k=30,
+        cand_sizes=_CAND_SIZES, n_queries=_N_QUERIES,
+    )
+    server, plain_client, _ = run_plain_construction(human, seed=0)
+    plain_rows = run_plain_search_sweep(
+        server, plain_client, human, k=30,
+        cand_sizes=_CAND_SIZES, n_queries=_N_QUERIES,
+    )
+    return cloud, enc_rows, plain_rows
+
+
+def test_human_trends_match_yeast(human_sweeps, human, benchmark):
+    cloud, enc_rows, plain_rows = human_sweeps
+    text = format_search_table(
+        "HUMAN (the paper's unprinted table): approximate 30-NN, "
+        "Encrypted M-Index",
+        enc_rows,
+    )
+    save_result("human_search_encrypted", text)
+
+    # trend 1: recall monotone and saturating above 90%
+    recalls = [row.recall for row in enc_rows]
+    assert recalls == sorted(recalls)
+    assert recalls[-1] > 90.0
+
+    # trend 2: encrypted comm cost linear, plain flat
+    enc_costs = [row.report.communication_bytes for row in enc_rows]
+    for i in range(len(enc_rows) - 1):
+        expected = enc_rows[i + 1].cand_size / enc_rows[i].cand_size
+        assert enc_costs[i + 1] / enc_costs[i] == pytest.approx(
+            expected, rel=0.2
+        )
+    plain_costs = [row.report.communication_bytes for row in plain_rows]
+    assert max(plain_costs) - min(plain_costs) <= 0.02 * max(plain_costs)
+
+    # trend 3: decryption dominates the encrypted client time
+    big = enc_rows[-1].report
+    assert big.decryption_time > 0.5 * big.client_time
+
+    # trend 4: identical result quality in both variants
+    for enc, plain in zip(enc_rows, plain_rows):
+        assert enc.recall == pytest.approx(plain.recall, abs=1e-9)
+
+    # benchmark: one encrypted 30-NN query on HUMAN
+    client = cloud.new_client()
+    query = human.queries[0]
+    benchmark(lambda: client.knn_search(query, 30, cand_size=800))

@@ -1,0 +1,48 @@
+"""Table 1 — data sets summary.
+
+Regenerates the paper's dataset summary from the actual loaded
+collections (records, data type, distance function), and benchmarks
+dataset generation itself.
+"""
+
+from conftest import save_result
+
+from repro.datasets.registry import make_yeast
+from repro.evaluation.tables import format_matrix
+
+
+def test_table1_dataset_summary(yeast, human, cophir, benchmark):
+    rows = []
+    for ds in (yeast, human, cophir):
+        distance_name = {
+            "l1": "L1",
+            "combined": "combination of Lp",
+        }.get(ds.distance.name, ds.distance.name)
+        rows.append(
+            (
+                ds.name,
+                [
+                    f"{ds.n_records:,}",
+                    f"{ds.dimension}-dim. num. vectors",
+                    distance_name,
+                    f"(paper: {ds.info['paper_records']:,})",
+                ],
+            )
+        )
+    text = format_matrix(
+        "Table 1. Data sets summary",
+        ["# of records", "Data type", "Distance function", "Scale note"],
+        rows,
+        row_header="Name",
+    )
+    save_result("table1_datasets", text)
+
+    # shape checks against the paper
+    assert yeast.n_records == 2_882
+    assert human.n_records == 4_026
+    assert yeast.dimension == 17
+    assert human.dimension == 96
+    assert cophir.dimension == 280
+
+    # benchmark: regenerating the YEAST stand-in from scratch
+    benchmark(lambda: make_yeast(n_queries=10))

@@ -1,0 +1,65 @@
+"""Table 4 — index construction of the basic (non-encrypted) M-Index.
+
+Identical setting to Table 3 minus the encryption layer: the client
+ships raw vectors and the *server* computes pivot distances and indexes
+them. The headline comparison (§5.2): for the small data sets the
+overall overhead of encryption is tens of percent; for the expensive
+CoPhIR metric the totals converge because distance computation (same
+work, different side) dominates everything.
+"""
+
+import pytest
+from conftest import save_result
+
+from repro.evaluation.runner import (
+    run_encrypted_construction,
+    run_plain_construction,
+)
+from repro.evaluation.tables import format_construction_table
+from repro.storage.disk import DiskStorage
+
+
+@pytest.fixture(scope="module")
+def plain_reports(yeast, human, cophir, tmp_path_factory):
+    reports = {}
+    for ds in (yeast, human, cophir):
+        storage = None
+        if ds.storage_type == "disk":
+            storage = DiskStorage(
+                tmp_path_factory.mktemp("mindex-plain") / ds.name
+            )
+        server, _client, report = run_plain_construction(
+            ds, seed=0, bulk_size=1000, storage=storage
+        )
+        assert len(server.index) == ds.n_records
+        reports[ds.name] = report
+    return reports
+
+
+def test_table4_plain_construction(plain_reports, yeast, benchmark):
+    text = format_construction_table(
+        "Table 4. Index construction of the basic (non-encrypted) M-Index",
+        plain_reports,
+        encrypted=False,
+    )
+    save_result("table4_construction_plain", text)
+
+    for report in plain_reports.values():
+        # all real work happens on the server in the plain variant
+        assert report.server_time > report.client_time
+        assert report.encryption_time == 0.0
+
+    # comparison shape vs Table 3 (paper §5.2): encryption makes the
+    # small-dataset construction measurably slower
+    _cloud, encrypted_yeast = run_encrypted_construction(yeast, seed=0)
+    assert encrypted_yeast.overall_time > plain_reports["YEAST"].overall_time
+
+    # benchmark: one plain bulk insert of 1,000 YEAST objects
+    server, client, _ = run_plain_construction(yeast, seed=1)
+    counter = iter(range(10_000_000, 20_000_000))
+
+    def bulk_insert():
+        oids = [next(counter) for _ in range(1000)]
+        client.insert_many(oids, yeast.vectors[:1000], bulk_size=1000)
+
+    benchmark(bulk_insert)

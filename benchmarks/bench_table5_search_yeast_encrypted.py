@@ -1,0 +1,58 @@
+"""Table 5 — approximate 30-NN on YEAST, Encrypted M-Index.
+
+The paper's CandSize sweep {150, 300, 600, 1500} with 100 random
+queries, reporting per-query averages of every cost component, recall
+and communication cost. Shape targets: recall > 90% at |S_C| = 600
+(~20% of the collection) and communication cost linear in CandSize.
+"""
+
+import pytest
+from conftest import N_QUERIES_SMALL, YEAST_CAND_SIZES, save_result
+
+from repro.core.client import Strategy
+from repro.evaluation.runner import (
+    run_encrypted_construction,
+    run_encrypted_search_sweep,
+)
+from repro.evaluation.tables import format_search_table
+
+
+@pytest.fixture(scope="module")
+def sweep_rows(yeast):
+    cloud, _ = run_encrypted_construction(
+        yeast, strategy=Strategy.APPROXIMATE, seed=0
+    )
+    client = cloud.new_client()
+    rows = run_encrypted_search_sweep(
+        client,
+        yeast,
+        k=30,
+        cand_sizes=YEAST_CAND_SIZES,
+        n_queries=N_QUERIES_SMALL,
+    )
+    return cloud, rows
+
+
+def test_table5_yeast_encrypted_search(sweep_rows, yeast, benchmark):
+    cloud, rows = sweep_rows
+    text = format_search_table(
+        "Table 5. Approximate 30-NN evaluation using the Encrypted "
+        "M-Index (YEAST)",
+        rows,
+    )
+    save_result("table5_search_yeast_encrypted", text)
+
+    recalls = [row.recall for row in rows]
+    assert recalls == sorted(recalls)
+    at_600 = next(row for row in rows if row.cand_size == 600)
+    assert at_600.recall > 90.0  # paper: 91.3% at |S_C| = 600
+
+    costs = [row.report.communication_bytes for row in rows]
+    for i in range(len(rows) - 1):
+        expected = rows[i + 1].cand_size / rows[i].cand_size
+        assert costs[i + 1] / costs[i] == pytest.approx(expected, rel=0.2)
+
+    # benchmark: one approximate 30-NN query at CandSize 600
+    client = cloud.new_client()
+    query = yeast.queries[0]
+    benchmark(lambda: client.knn_search(query, 30, cand_size=600))

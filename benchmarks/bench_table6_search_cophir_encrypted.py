@@ -1,0 +1,70 @@
+"""Table 6 — approximate 30-NN on CoPhIR, Encrypted M-Index.
+
+The paper sweeps CandSize over {500, 1k, 5k, 10k, 20k, 50k} of its 1M
+collection; we sweep the same *fractions* {0.05%..5%} of the scaled
+stand-in. Shape targets (§5.3): recall near 90% at the 5% point,
+client time ~5x server time (expensive metric computed client-side),
+communication cost linear in CandSize.
+"""
+
+import pytest
+from conftest import (
+    COPHIR_CAND_SIZES,
+    N_QUERIES_COPHIR,
+    save_result,
+)
+
+from repro.core.client import Strategy
+from repro.evaluation.runner import (
+    run_encrypted_construction,
+    run_encrypted_search_sweep,
+)
+from repro.evaluation.tables import format_search_table
+from repro.storage.disk import DiskStorage
+
+
+@pytest.fixture(scope="module")
+def sweep_rows(cophir, tmp_path_factory):
+    storage = DiskStorage(tmp_path_factory.mktemp("cophir-enc"))
+    cloud, _ = run_encrypted_construction(
+        cophir, strategy=Strategy.APPROXIMATE, seed=0, storage=storage
+    )
+    client = cloud.new_client()
+    rows = run_encrypted_search_sweep(
+        client,
+        cophir,
+        k=30,
+        cand_sizes=COPHIR_CAND_SIZES,
+        n_queries=N_QUERIES_COPHIR,
+    )
+    return cloud, rows
+
+
+def test_table6_cophir_encrypted_search(sweep_rows, cophir, benchmark):
+    cloud, rows = sweep_rows
+    text = format_search_table(
+        "Table 6. Approximate 30-NN evaluation using the Encrypted "
+        "M-Index (CoPhIR)",
+        rows,
+    )
+    save_result("table6_search_cophir_encrypted", text)
+
+    recalls = [row.recall for row in rows]
+    assert recalls == sorted(recalls)
+    assert rows[-1].recall > 70.0  # paper: 87% at the 5% point
+
+    # communication grows linearly with CandSize
+    costs = [row.report.communication_bytes for row in rows]
+    for i in range(len(rows) - 1):
+        expected = rows[i + 1].cand_size / rows[i].cand_size
+        assert costs[i + 1] / costs[i] == pytest.approx(expected, rel=0.25)
+
+    # expensive metric -> client dominates server (paper: ~5x)
+    big = rows[-1].report
+    assert big.client_time > 2 * big.server_time
+
+    # benchmark: one approximate 30-NN query at the 1% point
+    client = cloud.new_client()
+    query = cophir.queries[0]
+    mid_cand = COPHIR_CAND_SIZES[3]
+    benchmark(lambda: client.knn_search(query, 30, cand_size=mid_cand))

@@ -1,0 +1,53 @@
+"""Table 7 — approximate 30-NN on YEAST, basic (non-encrypted) M-Index.
+
+Same sweep as Table 5 without the encryption layer: the whole search
+runs server-side and only 30 answers travel, so the communication cost
+row is flat across candidate-set sizes — the paper's key contrast.
+"""
+
+import pytest
+from conftest import N_QUERIES_SMALL, YEAST_CAND_SIZES, save_result
+
+from repro.evaluation.runner import (
+    run_plain_construction,
+    run_plain_search_sweep,
+)
+from repro.evaluation.tables import format_search_table
+
+
+@pytest.fixture(scope="module")
+def sweep_rows(yeast):
+    server, client, _ = run_plain_construction(yeast, seed=0)
+    rows = run_plain_search_sweep(
+        server,
+        client,
+        yeast,
+        k=30,
+        cand_sizes=YEAST_CAND_SIZES,
+        n_queries=N_QUERIES_SMALL,
+    )
+    return server, client, rows
+
+
+def test_table7_yeast_plain_search(sweep_rows, yeast, benchmark):
+    server, client, rows = sweep_rows
+    text = format_search_table(
+        "Table 7. Approx. 30-NN evaluation using basic (non-encrypted) "
+        "M-Index (YEAST)",
+        rows,
+        encrypted=False,
+    )
+    save_result("table7_search_yeast_plain", text)
+
+    # flat communication cost (answer-only transfer)
+    costs = [row.report.communication_bytes for row in rows]
+    assert max(costs) - min(costs) <= 0.02 * max(costs)
+
+    # recall identical to the encrypted variant's M-Index logic:
+    # monotone and saturating
+    recalls = [row.recall for row in rows]
+    assert recalls == sorted(recalls)
+
+    # benchmark: one plain 30-NN query at CandSize 600
+    query = yeast.queries[0]
+    benchmark(lambda: client.knn_search(query, 30, cand_size=600))

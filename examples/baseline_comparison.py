@@ -1,0 +1,136 @@
+"""Scenario: choosing a secure-similarity-search architecture.
+
+Run:  python examples/baseline_comparison.py
+
+Reproduces the paper's §5.4 decision problem as a runnable shoot-out:
+six architectures answer the same 1-NN workload over the same data and
+report their cost/quality/privacy profiles side by side — the
+Encrypted M-Index, the non-encrypted M-Index, and the four comparison
+points (Trivial download-all, EHI, MPT, FDH).
+"""
+
+import numpy as np
+
+from repro import L1Distance, MetricSpace, SimilarityCloud, Strategy
+from repro.baselines import (
+    build_ehi,
+    build_fdh,
+    build_mpt,
+    build_plain,
+    build_trivial,
+)
+from repro.baselines.fdh import select_anchors
+from repro.crypto.cipher import AesCipher
+from repro.crypto.keys import SecretKey
+from repro.evaluation.metrics import exact_knn, recall
+
+rng = np.random.default_rng(11)
+centers = rng.normal(0.0, 6.0, size=(8, 12))
+data = centers[rng.integers(0, 8, size=1200)] + rng.normal(
+    0.0, 1.0, size=(1200, 12)
+)
+queries = centers[rng.integers(0, 8, size=25)] + rng.normal(
+    0.0, 1.0, size=(25, 12)
+)
+oids = range(len(data))
+truth = [exact_knn(L1Distance(), data, q, 1) for q in queries]
+
+
+def space():
+    return MetricSpace(L1Distance(), 12)
+
+
+def evaluate(name, search, client, privacy):
+    client.reset_accounting()
+    recalls = [
+        recall([h.oid for h in search(q)], t)
+        for q, t in zip(queries, truth)
+    ]
+    report = client.report().scaled(len(queries))
+    rows.append(
+        (
+            name,
+            float(np.mean(recalls)),
+            report.overall_time * 1e3,
+            report.communication_kb,
+            privacy,
+        )
+    )
+
+
+rows = []
+
+# Encrypted M-Index (this paper)
+cloud = SimilarityCloud.build(
+    data, distance=L1Distance(), n_pivots=10, bucket_capacity=60,
+    strategy=Strategy.APPROXIMATE, seed=2,
+)
+cloud.owner.outsource(oids, data)
+emi = cloud.new_client()
+evaluate(
+    "Encrypted M-Index",
+    lambda q: emi.knn_search(q, 1, cand_size=60, max_cells=1),
+    emi,
+    "level 3",
+)
+
+# non-encrypted M-Index (paper's own baseline)
+_pserver, plain = build_plain(
+    cloud.owner.secret_key.pivots, L1Distance(), bucket_capacity=60
+)
+plain.insert_many(oids, data)
+evaluate(
+    "Plain M-Index",
+    lambda q: plain.knn_search(q, 1, cand_size=60, max_cells=1),
+    plain,
+    "level 1",
+)
+
+# Trivial download-everything
+key = SecretKey.generate(data, 2, rng=np.random.default_rng(0))
+_tserver, trivial = build_trivial(key, space())
+trivial.insert_many(oids, data)
+evaluate("Trivial", lambda q: trivial.knn_search(q, 1), trivial, "level 4")
+
+# EHI (Yiu et al.)
+cipher = AesCipher(bytes(range(16)))
+_eserver, ehi = build_ehi(cipher, space(), leaf_capacity=25, fanout=6)
+ehi.outsource(oids, data, rng=np.random.default_rng(1))
+evaluate("EHI", lambda q: ehi.knn_search(q, 1), ehi, "level 4")
+
+# MPT (Yiu et al.)
+references = data[np.random.default_rng(2).choice(len(data), 8, False)]
+_mserver, mpt = build_mpt(references, cipher, space())
+mpt.outsource(oids, data, rng=np.random.default_rng(3))
+evaluate("MPT", lambda q: mpt.knn_search(q, 1), mpt, "level 4")
+
+# FDH (Yiu et al.)
+anchors, radii = select_anchors(
+    data, 20, space(), rng=np.random.default_rng(4)
+)
+_fserver, fdh = build_fdh(anchors, radii, cipher, space())
+fdh.outsource(oids, data)
+evaluate(
+    "FDH", lambda q: fdh.knn_search(q, 1, cand_size=60), fdh, "level 4"
+)
+
+print(f"\n1-NN over {len(data)} objects, {len(queries)} queries, "
+      f"per-query averages:\n")
+print(f"{'architecture':<20} {'recall':>8} {'overall ms':>11} "
+      f"{'comm kB':>9} {'privacy':>9}")
+for name, recall_pct, overall_ms, comm_kb, privacy in rows:
+    print(f"{name:<20} {recall_pct:>7.0f}% {overall_ms:>11.2f} "
+          f"{comm_kb:>9.2f} {privacy:>9}")
+
+print("""
+reading the table like the paper does:
+ * the plain M-Index is the efficiency ceiling - and privacy floor.
+ * Trivial and EHI are private but pay 1-2 orders of magnitude in
+   communication (Trivial) or round trips (EHI).
+ * MPT is exact and private but ships bigger candidate sets than the
+   pivot-permutation index needs.
+ * FDH is the closest competitor (approximate, hashed) - the Encrypted
+   M-Index gets better recall from the same candidate budget because
+   permutation prefixes carry more proximity information than anchor
+   bits.
+""")

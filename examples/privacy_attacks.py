@@ -1,0 +1,92 @@
+"""Scenario: what does a compromised server actually learn?
+
+Run:  python examples/privacy_attacks.py
+
+§4.3 of the paper argues the Encrypted M-Index sits at privacy level 3:
+the server holds encrypted payloads plus pivot permutations (or pivot
+distances under the precise strategy). This example plays the attacker
+with exactly that view and quantifies the residual leakage:
+
+* permutation frequency analysis -> cell-occupancy skew (clustering),
+* distance-distribution reconstruction -> possible only under the
+  precise strategy,
+* pivot co-occurrence graph clustering -> proximity structure of the
+  (unknown!) pivots.
+"""
+
+import numpy as np
+
+from repro import L1Distance, MetricSpace, SimilarityCloud, Strategy
+from repro.privacy import (
+    CooccurrenceAttack,
+    DistanceDistributionAttack,
+    PermutationFrequencyAttack,
+    PrivacyLevel,
+    classify_system,
+)
+from repro.privacy.levels import KNOWN_SYSTEMS
+
+rng = np.random.default_rng(3)
+# a visibly clustered collection: that clustering is what leaks
+centers = rng.normal(0.0, 12.0, size=(5, 10))
+data = centers[rng.integers(0, 5, size=1500)] + rng.normal(
+    0.0, 1.0, size=(1500, 10)
+)
+
+
+def server_view(cloud):
+    records = []
+    for cell in cloud.server.storage.cells():
+        records.extend(cloud.server.storage.load(cell))
+    return records
+
+
+print("taxonomy (paper §2.3):")
+for name in ("plain-mindex", "encrypted-mindex-approximate",
+             "encrypted-mindex-precise", "mpt"):
+    level = classify_system(KNOWN_SYSTEMS[name])
+    print(f"  {name:30s} -> level {int(level)} ({level.name})")
+
+for strategy in (Strategy.APPROXIMATE, Strategy.PRECISE):
+    print(f"\n=== attacker vs the {strategy.value.upper()} strategy ===")
+    cloud = SimilarityCloud.build(
+        data, distance=L1Distance(), n_pivots=12, bucket_capacity=75,
+        strategy=strategy, seed=1,
+    )
+    cloud.owner.outsource(range(len(data)), data)
+    view = server_view(cloud)
+
+    freq = PermutationFrequencyAttack(view, prefix_length=1)
+    print(f"cell-occupancy skew: largest cell holds "
+          f"{freq.skew() * 100:.1f}% of the collection "
+          f"(uniform would be ~{100 / 12:.1f}%) -> clustering leaks")
+
+    cooc = CooccurrenceAttack(view, n_pivots=12)
+    communities = cooc.pivot_communities()
+    space = MetricSpace(L1Distance(), 10)
+    score = cooc.structure_score(cloud.owner.secret_key.pivots, space)
+    print(f"co-occurrence attack groups the 12 unknown pivots into "
+          f"{len(communities)} communities; {score * 100:.0f}% of "
+          f"grouped pairs are truly close (50% = random)")
+
+    try:
+        dist_attack = DistanceDistributionAttack(view)
+        sample_idx = rng.choice(len(data), 200, replace=False)
+        true_sample = np.array([
+            float(np.abs(data[i] - data[j]).sum())
+            for i, j in zip(sample_idx[:100], sample_idx[100:])
+        ])
+        leak = dist_attack.leakage_score(true_sample)
+        print(f"distance-distribution reconstruction: leakage score "
+              f"{leak:.2f} (1.0 = full distribution recovered) -> this "
+              f"is why the paper lists distance transformations as "
+              f"future work")
+    except Exception as exc:
+        print(f"distance-distribution reconstruction: BLOCKED "
+              f"({type(exc).__name__}: the approximate strategy stores "
+              f"no distances)")
+
+print("\nconclusion: both strategies hide the objects and the metric "
+      "(level 3); the approximate strategy additionally closes the "
+      "distance-distribution channel, at the price of approximate "
+      "answers only.")

@@ -1,0 +1,52 @@
+"""Baselines the paper compares the Encrypted M-Index against.
+
+* :mod:`repro.baselines.plain` — the **non-encrypted M-Index** (the
+  paper's own baseline, Tables 4/7/8): plaintext on the server, all
+  work server-side, only the final answer travels.
+* :mod:`repro.baselines.raw_encrypted` — §2.3's level-2 setting: MS
+  objects indexed in plaintext, only the raw data encrypted (fetched
+  and decrypted by oid after the search).
+* :mod:`repro.baselines.trivial` — the strawman of §3: download the
+  whole encrypted collection, decrypt and search on the client.
+* :mod:`repro.baselines.ehi` — Yiu et al.'s Encrypted Hierarchical
+  Index (§3.1): an encrypted metric tree traversed by the client,
+  node fetch by node fetch.
+* :mod:`repro.baselines.mpt` — Yiu et al.'s Metric-Preserving
+  Transformation (§3.2): order-preserving-encrypted reference-point
+  distances let the server filter without learning the distribution.
+* :mod:`repro.baselines.fdh` — Yiu et al.'s Flexible Distance-based
+  Hashing: secret anchor spheres give each object a bit-vector hash;
+  the server serves candidates by Hamming proximity.
+"""
+
+from repro.baselines.ehi import EhiClient, EhiServer, build_ehi
+from repro.baselines.fdh import FdhClient, FdhServer, build_fdh
+from repro.baselines.mpt import MptClient, MptServer, build_mpt
+from repro.baselines.plain import PlainClient, PlainServer, build_plain
+from repro.baselines.raw_encrypted import (
+    RawDataStore,
+    RawEncryptedClient,
+    build_raw_encrypted,
+)
+from repro.baselines.trivial import TrivialClient, TrivialServer, build_trivial
+
+__all__ = [
+    "EhiClient",
+    "EhiServer",
+    "FdhClient",
+    "FdhServer",
+    "MptClient",
+    "MptServer",
+    "PlainClient",
+    "PlainServer",
+    "RawDataStore",
+    "RawEncryptedClient",
+    "TrivialClient",
+    "TrivialServer",
+    "build_ehi",
+    "build_fdh",
+    "build_mpt",
+    "build_plain",
+    "build_raw_encrypted",
+    "build_trivial",
+]

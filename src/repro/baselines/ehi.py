@@ -1,0 +1,393 @@
+"""Encrypted Hierarchical Index (EHI) — Yiu et al., paper §3.1.
+
+The data owner builds a metric tree (an M-tree-style structure with
+routing objects and covering radii), encrypts **every node** with the
+symmetric cipher and uploads the node blobs; the server is a dumb
+key-value store that cannot traverse anything. An authorized client
+searches by fetching the root, decrypting it, deciding which children
+can contain answers, fetching those, and so on — a branch-and-bound
+best-first traversal whose every step costs one round trip and one
+decryption.
+
+This gives exact answers and maximal privacy, at exactly the costs the
+paper attributes to EHI: many round trips, high communication, heavy
+client-side crypto.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.client import SearchHit
+from repro.core.costs import (
+    CLIENT,
+    DECRYPTION,
+    DISTANCE,
+    ENCRYPTION,
+    CostRecorder,
+    CostReport,
+)
+from repro.crypto.cipher import AesCipher
+from repro.exceptions import IndexError_, QueryError
+from repro.metric.space import MetricSpace
+from repro.net.channel import InProcessChannel
+from repro.net.clock import Clock
+from repro.net.rpc import RpcClient, RpcDispatcher
+from repro.wire.encoding import Reader, Writer
+
+__all__ = ["EhiServer", "EhiClient", "build_ehi"]
+
+_ROOT_ID = 0
+
+
+class EhiServer:
+    """Dumb encrypted-node store: ``put_nodes`` and ``get_node``."""
+
+    def __init__(self, *, clock: Clock | None = None) -> None:
+        self._nodes: dict[int, bytes] = {}
+        self.dispatcher = RpcDispatcher(clock=clock)
+        self.dispatcher.register("put_nodes", self._handle_put_nodes)
+        self.dispatcher.register("get_node", self._handle_get_node)
+
+    def handle(self, request: bytes) -> bytes:
+        """Raw request entry point, pluggable into any channel."""
+        return self.dispatcher.handle(request)
+
+    @property
+    def server_time(self) -> float:
+        """Accumulated processing time across handled calls."""
+        return self.dispatcher.server_time
+
+    def reset_accounting(self) -> None:
+        """Zero server-side accounting."""
+        self.dispatcher.reset_accounting()
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def _handle_put_nodes(self, body: Reader) -> Writer:
+        count = body.u32()
+        for _ in range(count):
+            node_id = body.u32()
+            self._nodes[node_id] = body.blob()
+        body.expect_end()
+        return Writer().u64(len(self._nodes))
+
+    def _handle_get_node(self, body: Reader) -> Writer:
+        node_id = body.u32()
+        body.expect_end()
+        blob = self._nodes.get(node_id)
+        if blob is None:
+            raise IndexError_(f"EHI node {node_id} does not exist")
+        return Writer().blob(blob)
+
+
+# -- node encoding -----------------------------------------------------------
+
+
+def _encode_leaf(oids: Sequence[int], vectors: np.ndarray) -> bytes:
+    writer = Writer()
+    writer.u8(1)
+    writer.u32(len(oids))
+    for oid, vector in zip(oids, vectors):
+        writer.u64(int(oid))
+        writer.f64_array(vector)
+    return writer.getvalue()
+
+
+def _encode_internal(
+    entries: list[tuple[int, float, np.ndarray]]
+) -> bytes:
+    writer = Writer()
+    writer.u8(0)
+    writer.u32(len(entries))
+    for child_id, radius, center in entries:
+        writer.u32(child_id)
+        writer.f64(radius)
+        writer.f64_array(center)
+    return writer.getvalue()
+
+
+def _decode_node(blob: bytes):
+    reader = Reader(blob)
+    is_leaf = reader.u8()
+    count = reader.u32()
+    if is_leaf:
+        oids = []
+        vectors = []
+        for _ in range(count):
+            oids.append(reader.u64())
+            vectors.append(reader.f64_array())
+        reader.expect_end()
+        return True, oids, np.stack(vectors) if vectors else np.empty((0, 0))
+    entries = []
+    for _ in range(count):
+        child_id = reader.u32()
+        radius = reader.f64()
+        center = reader.f64_array()
+        entries.append((child_id, radius, center))
+    reader.expect_end()
+    return False, entries, None
+
+
+class _TreeBuilder:
+    """Owner-side construction of the encrypted hierarchical index."""
+
+    def __init__(
+        self,
+        space: MetricSpace,
+        leaf_capacity: int,
+        fanout: int,
+        rng: np.random.Generator,
+    ) -> None:
+        if leaf_capacity <= 0:
+            raise IndexError_(
+                f"leaf capacity must be positive, got {leaf_capacity}"
+            )
+        if fanout < 2:
+            raise IndexError_(f"fanout must be >= 2, got {fanout}")
+        self.space = space
+        self.leaf_capacity = leaf_capacity
+        self.fanout = fanout
+        self.rng = rng
+        self.nodes: dict[int, bytes] = {}
+        self._next_id = _ROOT_ID
+
+    def build(self, oids: np.ndarray, vectors: np.ndarray) -> dict[int, bytes]:
+        """Build the tree; returns plaintext node blobs keyed by id."""
+        root_id = self._allocate()
+        self._build_node(root_id, oids, vectors)
+        return self.nodes
+
+    def _allocate(self) -> int:
+        node_id = self._next_id
+        self._next_id += 1
+        return node_id
+
+    def _build_node(
+        self, node_id: int, oids: np.ndarray, vectors: np.ndarray
+    ) -> None:
+        if len(oids) <= self.leaf_capacity:
+            self.nodes[node_id] = _encode_leaf(oids, vectors)
+            return
+        centers_idx = self.rng.choice(
+            len(oids), size=min(self.fanout, len(oids)), replace=False
+        )
+        centers = vectors[centers_idx]
+        # assign every point to its nearest center
+        assignment = np.empty(len(oids), dtype=np.int64)
+        best = np.full(len(oids), np.inf)
+        for center_pos in range(len(centers)):
+            dists = self.space.d_batch(centers[center_pos], vectors)
+            closer = dists < best
+            assignment[closer] = center_pos
+            best[closer] = dists[closer]
+        occupied = [
+            center_pos
+            for center_pos in range(len(centers))
+            if np.any(assignment == center_pos)
+        ]
+        if len(occupied) <= 1:
+            # Degenerate cloud (e.g. all points identical): partitioning
+            # cannot make progress, store an oversized leaf instead.
+            self.nodes[node_id] = _encode_leaf(oids, vectors)
+            return
+        entries: list[tuple[int, float, np.ndarray]] = []
+        for center_pos in occupied:
+            member_mask = assignment == center_pos
+            child_id = self._allocate()
+            covering_radius = float(best[member_mask].max())
+            entries.append((child_id, covering_radius, centers[center_pos]))
+            self._build_node(
+                child_id, oids[member_mask], vectors[member_mask]
+            )
+        self.nodes[node_id] = _encode_internal(entries)
+
+
+class EhiClient:
+    """Authorized client: builds, uploads and traverses the tree."""
+
+    def __init__(
+        self,
+        cipher: AesCipher,
+        space: MetricSpace,
+        rpc: RpcClient,
+        *,
+        leaf_capacity: int = 25,
+        fanout: int = 6,
+    ) -> None:
+        self.cipher = cipher
+        self.space = space
+        self.rpc = rpc
+        self.leaf_capacity = leaf_capacity
+        self.fanout = fanout
+        self.costs = CostRecorder()
+
+    # -- construction --------------------------------------------------------
+
+    def outsource(
+        self,
+        oids: Sequence[int],
+        vectors: np.ndarray,
+        *,
+        rng: np.random.Generator | None = None,
+        upload_batch: int = 64,
+    ) -> int:
+        """Build the tree locally, encrypt every node, upload.
+
+        Returns the number of uploaded nodes.
+        """
+        rng = rng or np.random.default_rng(0)
+        oids_arr = np.asarray(list(oids), dtype=np.int64)
+        vectors = np.asarray(vectors, dtype=np.float64)
+        with self.costs.time(CLIENT):
+            builder = _TreeBuilder(
+                self.space, self.leaf_capacity, self.fanout, rng
+            )
+            plain_nodes = builder.build(oids_arr, vectors)
+            node_ids = sorted(plain_nodes.keys())
+            with self.costs.time(ENCRYPTION):
+                encrypted = self.cipher.encrypt_many(
+                    [plain_nodes[node_id] for node_id in node_ids]
+                )
+        for start in range(0, len(node_ids), upload_batch):
+            stop = min(start + upload_batch, len(node_ids))
+            with self.costs.time(CLIENT):
+                writer = Writer()
+                writer.u32(stop - start)
+                for position in range(start, stop):
+                    writer.u32(node_ids[position])
+                    writer.blob(encrypted[position])
+            self.rpc.call("put_nodes", writer)
+        return len(node_ids)
+
+    # -- search ----------------------------------------------------------------
+
+    def knn_search(self, query: np.ndarray, k: int) -> list[SearchHit]:
+        """Exact k-NN by client-driven best-first branch and bound."""
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        # max-heap of current best (negated distance) of size <= k
+        best: list[tuple[float, int, np.ndarray]] = []
+        frontier: list[tuple[float, int]] = [(0.0, _ROOT_ID)]
+        while frontier:
+            lower_bound, node_id = heapq.heappop(frontier)
+            if len(best) == k and lower_bound > -best[0][0]:
+                break
+            is_leaf, a, b = self._fetch_node(node_id)
+            with self.costs.time(CLIENT):
+                if is_leaf:
+                    oids, vectors = a, b
+                    if len(oids) == 0:
+                        continue
+                    with self.costs.time(DISTANCE):
+                        dists = self.space.d_batch(query, vectors)
+                    for oid, vector, dist in zip(oids, vectors, dists):
+                        # Heap items compare by (-distance, oid); oids
+                        # are unique so the ndarray is never compared.
+                        item = (-float(dist), int(oid), vector)
+                        if len(best) < k:
+                            heapq.heappush(best, item)
+                        elif item[:2] > best[0][:2]:
+                            heapq.heapreplace(best, item)
+                else:
+                    threshold = np.inf if len(best) < k else -best[0][0]
+                    for child_id, radius, center in a:
+                        with self.costs.time(DISTANCE):
+                            center_dist = self.space.d(query, center)
+                        child_bound = max(0.0, center_dist - radius)
+                        if child_bound <= threshold:
+                            heapq.heappush(frontier, (child_bound, child_id))
+        hits = [
+            SearchHit(oid, vector, -neg_dist)
+            for neg_dist, oid, vector in sorted(
+                best, key=lambda item: (-item[0], item[1])
+            )
+        ]
+        return hits
+
+    def range_search(self, query: np.ndarray, radius: float) -> list[SearchHit]:
+        """Exact range query by client-driven traversal."""
+        if radius < 0:
+            raise QueryError(f"radius must be >= 0, got {radius}")
+        hits: list[SearchHit] = []
+        frontier = [_ROOT_ID]
+        while frontier:
+            node_id = frontier.pop()
+            is_leaf, a, b = self._fetch_node(node_id)
+            with self.costs.time(CLIENT):
+                if is_leaf:
+                    oids, vectors = a, b
+                    if len(oids) == 0:
+                        continue
+                    with self.costs.time(DISTANCE):
+                        dists = self.space.d_batch(query, vectors)
+                    hits.extend(
+                        SearchHit(int(oid), vector, float(dist))
+                        for oid, vector, dist in zip(oids, vectors, dists)
+                        if dist <= radius
+                    )
+                else:
+                    for child_id, cover, center in a:
+                        with self.costs.time(DISTANCE):
+                            center_dist = self.space.d(query, center)
+                        if center_dist - cover <= radius:
+                            frontier.append(child_id)
+        hits.sort(key=lambda hit: (hit.distance, hit.oid))
+        return hits
+
+    def _fetch_node(self, node_id: int):
+        reader = self.rpc.call("get_node", Writer().u32(node_id))
+        with self.costs.time(CLIENT):
+            blob = reader.blob()
+            reader.expect_end()
+            with self.costs.time(DECRYPTION):
+                plain = self.cipher.decrypt(blob)
+            return _decode_node(plain)
+
+    # -- accounting ----------------------------------------------------------------
+
+    def report(self) -> CostReport:
+        """Cost snapshot in the paper's components."""
+        return CostReport(
+            client_time=self.costs.seconds(CLIENT),
+            encryption_time=self.costs.seconds(ENCRYPTION),
+            decryption_time=self.costs.seconds(DECRYPTION),
+            distance_time=self.costs.seconds(DISTANCE),
+            server_time=self.rpc.server_time,
+            communication_time=self.rpc.channel.communication_time,
+            communication_bytes=self.rpc.channel.bytes_total,
+            extras={"round_trips": self.rpc.channel.requests},
+        )
+
+    def reset_accounting(self) -> None:
+        """Zero client-side and channel accounting."""
+        self.costs.reset()
+        self.rpc.reset_accounting()
+
+
+def build_ehi(
+    cipher: AesCipher,
+    space: MetricSpace,
+    *,
+    leaf_capacity: int = 25,
+    fanout: int = 6,
+    latency: float = 50e-6,
+    bandwidth: float | None = 1.25e9,
+) -> tuple[EhiServer, EhiClient]:
+    """Wire an EHI server and client over an in-process channel."""
+    server = EhiServer()
+    channel = InProcessChannel(
+        server.handle, latency=latency, bandwidth=bandwidth
+    )
+    client = EhiClient(
+        cipher,
+        space,
+        RpcClient(channel),
+        leaf_capacity=leaf_capacity,
+        fanout=fanout,
+    )
+    return server, client

@@ -1,0 +1,226 @@
+"""Level-2 system of §2.3: raw-data encryption only.
+
+"Extract the MS objects from the raw data and build a standard indexing
+structure on these MS objects; then the raw data can be encrypted with
+some symmetric cryptosystem and uploaded to the cloud data storage. The
+similarity search itself can be performed without any change [...].
+After the search, the raw data storage returns encrypted result data to
+the client for decryption."
+
+This completes the taxonomy with a runnable system per privacy level:
+the search is as fast as the plain M-Index (level-1 efficiency), but
+the *raw* payloads (images, documents, ...) stay encrypted — the
+appropriate design when the MS descriptors themselves are not
+sensitive, and exactly the setting the paper argues is *insufficient*
+when they are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.plain import PlainClient, PlainServer
+from repro.core.costs import (
+    CLIENT,
+    DECRYPTION,
+    ENCRYPTION,
+    CostRecorder,
+    CostReport,
+)
+from repro.crypto.cipher import AesCipher
+from repro.exceptions import IndexError_, QueryError
+from repro.metric.distances import Distance
+from repro.net.channel import InProcessChannel
+from repro.net.clock import Clock
+from repro.net.rpc import RpcClient, RpcDispatcher
+from repro.wire.encoding import Reader, Writer
+
+__all__ = ["RawDataStore", "RawEncryptedClient", "build_raw_encrypted"]
+
+
+class RawDataStore:
+    """The cloud raw-data storage of Figure 1: encrypted blobs by oid."""
+
+    def __init__(self, *, clock: Clock | None = None) -> None:
+        self._blobs: dict[int, bytes] = {}
+        self.dispatcher = RpcDispatcher(clock=clock)
+        self.dispatcher.register("raw_put", self._handle_put)
+        self.dispatcher.register("raw_get", self._handle_get)
+
+    def handle(self, request: bytes) -> bytes:
+        """Raw request entry point, pluggable into any channel."""
+        return self.dispatcher.handle(request)
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    def _handle_put(self, body: Reader) -> Writer:
+        count = body.u32()
+        for _ in range(count):
+            oid = body.u64()
+            self._blobs[oid] = body.blob()
+        body.expect_end()
+        return Writer().u64(len(self._blobs))
+
+    def _handle_get(self, body: Reader) -> Writer:
+        count = body.u32()
+        oids = [body.u64() for _ in range(count)]
+        body.expect_end()
+        writer = Writer()
+        writer.u32(len(oids))
+        for oid in oids:
+            blob = self._blobs.get(oid)
+            if blob is None:
+                raise IndexError_(f"no raw data stored for oid {oid}")
+            writer.u64(oid)
+            writer.blob(blob)
+        return writer
+
+
+@dataclass(frozen=True)
+class RawResult:
+    """One search answer with its decrypted raw payload."""
+
+    oid: int
+    distance: float
+    raw_data: bytes
+
+
+class RawEncryptedClient:
+    """Level-2 client: plain similarity search + encrypted raw fetch.
+
+    Wraps a :class:`~repro.baselines.plain.PlainClient` (the search is
+    entirely server-side over plaintext MS objects) and a raw-data
+    store holding AES tokens of the original payloads.
+    """
+
+    def __init__(
+        self,
+        search_client: PlainClient,
+        raw_rpc: RpcClient,
+        cipher: AesCipher,
+    ) -> None:
+        self.search = search_client
+        self.raw_rpc = raw_rpc
+        self.cipher = cipher
+        self.costs = CostRecorder()
+
+    def outsource(
+        self,
+        oids: Sequence[int],
+        vectors: np.ndarray,
+        raw_payloads: Sequence[bytes],
+        *,
+        bulk_size: int = 1000,
+    ) -> int:
+        """Index the MS objects plain; store the raw data encrypted."""
+        if not (len(oids) == len(vectors) == len(raw_payloads)):
+            raise QueryError(
+                "oids, vectors and raw payloads must align: "
+                f"{len(oids)} / {len(vectors)} / {len(raw_payloads)}"
+            )
+        self.search.insert_many(oids, vectors, bulk_size=bulk_size)
+        total = 0
+        for start in range(0, len(oids), bulk_size):
+            stop = min(start + bulk_size, len(oids))
+            with self.costs.time(CLIENT):
+                with self.costs.time(ENCRYPTION):
+                    tokens = self.cipher.encrypt_many(
+                        [bytes(raw_payloads[i]) for i in range(start, stop)]
+                    )
+                writer = Writer()
+                writer.u32(stop - start)
+                for position, token in zip(range(start, stop), tokens):
+                    writer.u64(int(oids[position]))
+                    writer.blob(token)
+            total = self.raw_rpc.call("raw_put", writer).u64()
+        return total
+
+    def knn_search(
+        self, query: np.ndarray, k: int, *, cand_size: int
+    ) -> list[RawResult]:
+        """Plain-index k-NN, then fetch + decrypt the raw answers."""
+        hits = self.search.knn_search(query, k, cand_size=cand_size)
+        return self._attach_raw(hits)
+
+    def range_search(self, query: np.ndarray, radius: float) -> list[RawResult]:
+        """Plain-index range query, then fetch + decrypt raw answers."""
+        hits = self.search.range_search(query, radius)
+        return self._attach_raw(hits)
+
+    def _attach_raw(self, hits) -> list[RawResult]:
+        if not hits:
+            return []
+        with self.costs.time(CLIENT):
+            writer = Writer()
+            writer.u32(len(hits))
+            for hit in hits:
+                writer.u64(hit.oid)
+        reader = self.raw_rpc.call("raw_get", writer)
+        with self.costs.time(CLIENT):
+            count = reader.u32()
+            oids = []
+            tokens = []
+            for _ in range(count):
+                oids.append(reader.u64())
+                tokens.append(reader.blob())
+            reader.expect_end()
+            with self.costs.time(DECRYPTION):
+                raw_blobs = self.cipher.decrypt_many(tokens)
+        by_oid = dict(zip(oids, raw_blobs))
+        return [
+            RawResult(hit.oid, hit.distance, by_oid[hit.oid]) for hit in hits
+        ]
+
+    def report(self) -> CostReport:
+        """Cost snapshot combining search and raw-fetch channels."""
+        search_report = self.search.report()
+        return CostReport(
+            client_time=search_report.client_time
+            + self.costs.seconds(CLIENT),
+            encryption_time=self.costs.seconds(ENCRYPTION),
+            decryption_time=self.costs.seconds(DECRYPTION),
+            server_time=search_report.server_time
+            + self.raw_rpc.server_time,
+            communication_time=search_report.communication_time
+            + self.raw_rpc.channel.communication_time,
+            communication_bytes=search_report.communication_bytes
+            + self.raw_rpc.channel.bytes_total,
+        )
+
+    def reset_accounting(self) -> None:
+        """Zero all client-side and channel accounting."""
+        self.costs.reset()
+        self.search.reset_accounting()
+        self.raw_rpc.reset_accounting()
+
+
+def build_raw_encrypted(
+    pivots: np.ndarray,
+    distance: Distance,
+    bucket_capacity: int,
+    cipher: AesCipher,
+    *,
+    latency: float = 50e-6,
+    bandwidth: float | None = 1.25e9,
+) -> tuple[PlainServer, RawDataStore, RawEncryptedClient]:
+    """Wire the level-2 system: plain index + encrypted raw store."""
+    index_server = PlainServer(pivots, distance, bucket_capacity)
+    raw_store = RawDataStore()
+    search_client = PlainClient(
+        RpcClient(
+            InProcessChannel(
+                index_server.handle, latency=latency, bandwidth=bandwidth
+            )
+        )
+    )
+    raw_rpc = RpcClient(
+        InProcessChannel(
+            raw_store.handle, latency=latency, bandwidth=bandwidth
+        )
+    )
+    client = RawEncryptedClient(search_client, raw_rpc, cipher)
+    return index_server, raw_store, client

@@ -1,0 +1,455 @@
+"""Authorized client and data owner (paper §4.2, Algorithms 1–2).
+
+The client holds the :class:`~repro.crypto.keys.SecretKey` — pivots plus
+cipher key — and therefore performs everything the server must not:
+
+* computing object/query–pivot distances (Algorithm 1 line 1,
+  Algorithm 2 line 1),
+* encrypting payloads on insert and decrypting candidates on search,
+* the final candidate-set refinement with true distances
+  (Algorithm 2 lines 11–16).
+
+Every one of those steps is charged to the cost components the paper
+reports: client / encryption / decryption / distance-computation time.
+
+:class:`DataOwner` is the construction-phase role: it generates the
+secret key and bulk-outsources the collection; afterwards it hands the
+key to authorized clients (here: :meth:`DataOwner.authorize`).
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.costs import (
+    CLIENT,
+    DECRYPTION,
+    DISTANCE,
+    ENCRYPTION,
+    CostRecorder,
+    CostReport,
+)
+from repro.core.records import (
+    CandidateEntry,
+    IndexedRecord,
+    payload_to_vector,
+    vector_to_payload,
+)
+from repro.crypto.keys import SecretKey
+from repro.crypto.ope import OrderPreservingEncryption
+from repro.exceptions import QueryError
+from repro.metric.permutations import pivot_permutation
+from repro.metric.space import MetricSpace
+from repro.net.rpc import RpcClient
+from repro.wire.encoding import Reader, Writer
+
+__all__ = ["Strategy", "SearchHit", "EncryptedClient", "DataOwner"]
+
+
+class Strategy(enum.Enum):
+    """The server-side representations of an indexed object.
+
+    ``PRECISE`` stores object–pivot distances on the server: range
+    queries and pivot filtering work, but the distance distribution
+    leaks. ``APPROXIMATE`` stores only the pivot permutation: less
+    leakage, approximate k-NN only. ``TRANSFORMED`` is the paper's §6
+    future-work extension, implemented here: pivot distances are passed
+    through a secret order-preserving transformation before upload, so
+    range queries still work (via transformed-interval filtering) while
+    the distance *distribution* stays hidden — privacy level 4.
+    """
+
+    PRECISE = "precise"
+    APPROXIMATE = "approximate"
+    TRANSFORMED = "transformed"
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One refined search answer: object id, plaintext and distance."""
+
+    oid: int
+    vector: np.ndarray
+    distance: float
+
+
+class EncryptedClient:
+    """Authorized client of the Encrypted M-Index.
+
+    Parameters
+    ----------
+    secret_key:
+        The pivots + cipher key shared by the data owner.
+    space:
+        Client-side metric space (the client owns the metric; the
+        server never sees it). Its distance counter tracks exactly the
+        paper's "relocated" computations.
+    rpc:
+        RPC client bound to the server's channel.
+    strategy:
+        Which representation inserts produce (must match across all
+        writers of one index).
+    """
+
+    def __init__(
+        self,
+        secret_key: SecretKey,
+        space: MetricSpace,
+        rpc: RpcClient,
+        *,
+        strategy: Strategy = Strategy.APPROXIMATE,
+    ) -> None:
+        self.secret_key = secret_key
+        self.space = space
+        self.rpc = rpc
+        self.strategy = strategy
+        self.costs = CostRecorder()
+        self._ope: OrderPreservingEncryption | None = None
+
+    @property
+    def ope(self) -> OrderPreservingEncryption:
+        """The secret monotone distance transformation (TRANSFORMED).
+
+        Derived deterministically from the secret key: the OPE key is a
+        hash of the cipher key, and its domain is calibrated on the
+        pivot–pivot distance matrix — both available to every key
+        holder, so no extra key material travels out of band.
+        """
+        if self._ope is None:
+            ope_key = hashlib.sha256(
+                b"repro.ope\x00" + self.secret_key.cipher_key
+            ).digest()
+            with self.costs.time(CLIENT):
+                with self.costs.time(DISTANCE):
+                    pivots = self.secret_key.pivots
+                    pairwise = np.stack(
+                        [self.space.d_batch(p, pivots) for p in pivots]
+                    )
+            self._ope = OrderPreservingEncryption(ope_key).fit(
+                pairwise, margin=1.0
+            )
+        return self._ope
+
+    # ------------------------------------------------------------------
+    # construction phase (Algorithm 1)
+    # ------------------------------------------------------------------
+
+    def insert_many(
+        self,
+        oids: Sequence[int],
+        vectors: np.ndarray,
+        *,
+        bulk_size: int = 1000,
+    ) -> int:
+        """Encrypt and outsource objects in bulks (paper uses 1,000).
+
+        Returns the server's total record count after the last bulk.
+        """
+        if len(oids) != len(vectors):
+            raise QueryError(
+                f"oids ({len(oids)}) and vectors ({len(vectors)}) differ"
+            )
+        if bulk_size <= 0:
+            raise QueryError(f"bulk_size must be positive, got {bulk_size}")
+        total = 0
+        for start in range(0, len(oids), bulk_size):
+            stop = min(start + bulk_size, len(oids))
+            with self.costs.time(CLIENT):
+                writer = self._encode_bulk(
+                    [int(o) for o in oids[start:stop]], vectors[start:stop]
+                )
+            response = self.rpc.call("insert", writer)
+            total = response.u64()
+        return total
+
+    def insert(self, oid: int, vector: np.ndarray) -> int:
+        """Insert a single object (Algorithm 1)."""
+        return self.insert_many([oid], np.asarray(vector)[None, :])
+
+    def _encode_bulk(self, oids: list[int], vectors: np.ndarray) -> Writer:
+        """Algorithm 1 for one bulk, with batched encryption."""
+        pivots = self.secret_key.pivots
+        with self.costs.time(DISTANCE):
+            distance_rows = [
+                self.space.d_batch(vector, pivots) for vector in vectors
+            ]
+        with self.costs.time(ENCRYPTION):
+            payloads = self.secret_key.cipher.encrypt_many(
+                [vector_to_payload(vector) for vector in vectors]
+            )
+        if self.strategy is Strategy.TRANSFORMED:
+            with self.costs.time(ENCRYPTION):
+                # a strictly monotone transform preserves the sort
+                # order, so the server still derives the correct pivot
+                # permutation from the transformed values
+                distance_rows = [
+                    np.asarray(self.ope.encrypt(row)) for row in distance_rows
+                ]
+        writer = Writer()
+        writer.u32(len(oids))
+        for oid, distances, payload in zip(oids, distance_rows, payloads):
+            if self.strategy is Strategy.APPROXIMATE:
+                record = IndexedRecord(
+                    oid, pivot_permutation(distances), None, payload
+                )
+            else:
+                record = IndexedRecord(oid, None, distances, payload)
+            record.write_to(writer)
+        self.costs.add_count("objects_inserted", len(oids))
+        return writer
+
+    def delete(self, oid: int, vector: np.ndarray) -> bool:
+        """Remove an outsourced object (dynamic-index maintenance).
+
+        The client recomputes the object's pivot permutation — just as
+        on insert — so the server can address the right Voronoi cell
+        without learning anything new. Returns True when the server
+        removed a record.
+        """
+        with self.costs.time(CLIENT):
+            with self.costs.time(DISTANCE):
+                distances = self.space.d_batch(vector, self.secret_key.pivots)
+            record = IndexedRecord(
+                oid, pivot_permutation(distances), None, b""
+            )
+            writer = Writer()
+            record.write_to(writer)
+        return self.rpc.call("delete", writer).boolean()
+
+    # ------------------------------------------------------------------
+    # search phase (Algorithm 2)
+    # ------------------------------------------------------------------
+
+    def range_search(self, query: np.ndarray, radius: float) -> list[SearchHit]:
+        """Precise range query ``R(q, r)`` (Algorithm 2, precise branch).
+
+        Requires the PRECISE or TRANSFORMED strategy (the server stores
+        no pivot distances under APPROXIMATE). Under TRANSFORMED the
+        request carries per-pivot transformed intervals instead of raw
+        query–pivot distances, hiding the distance distribution.
+        """
+        if radius < 0:
+            raise QueryError(f"radius must be >= 0, got {radius}")
+        if self.strategy is Strategy.APPROXIMATE:
+            raise QueryError(
+                "range queries require the PRECISE or TRANSFORMED "
+                "strategy (the server stores no pivot distances under "
+                "APPROXIMATE)"
+            )
+        with self.costs.time(CLIENT):
+            with self.costs.time(DISTANCE):
+                q_dists = self.space.d_batch(query, self.secret_key.pivots)
+            if self.strategy is Strategy.TRANSFORMED:
+                with self.costs.time(ENCRYPTION):
+                    lows = np.asarray(
+                        self.ope.encrypt(np.maximum(q_dists - radius, 0.0))
+                    )
+                    if radius == float("inf"):
+                        highs = np.full_like(q_dists, np.inf)
+                    else:
+                        highs = np.asarray(self.ope.encrypt(q_dists + radius))
+                method = "range_transformed"
+                writer = Writer().f64_array(lows).f64_array(highs)
+            else:
+                method = "range"
+                writer = Writer().f64_array(q_dists).f64(radius)
+        reader = self.rpc.call(method, writer)
+        hits = self._refine(query, reader, radius=radius)
+        hits.sort(key=lambda hit: (hit.distance, hit.oid))
+        return hits
+
+    def knn_search(
+        self,
+        query: np.ndarray,
+        k: int,
+        *,
+        cand_size: int,
+        max_cells: int | None = None,
+        refine_limit: int | None = None,
+    ) -> list[SearchHit]:
+        """Approximate k-NN (Algorithm 2, approximate branch).
+
+        ``cand_size`` is the paper's CandSize parameter; because the
+        candidate set arrives pre-ranked, ``refine_limit`` optionally
+        decrypts/refines only its head (§4.2: "the client can choose to
+        decrypt and compute distances only for candidates with the
+        highest rank").
+        """
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        if cand_size < k:
+            raise QueryError(
+                f"cand_size ({cand_size}) must be at least k ({k})"
+            )
+        with self.costs.time(CLIENT):
+            with self.costs.time(DISTANCE):
+                q_dists = self.space.d_batch(query, self.secret_key.pivots)
+            permutation = pivot_permutation(q_dists)
+            writer = Writer()
+            writer.i32_array(permutation)
+            writer.u32(cand_size)
+            writer.u32(max_cells if max_cells is not None else 0)
+        reader = self.rpc.call("approx_knn", writer)
+        hits = self._refine(query, reader, refine_limit=refine_limit)
+        hits.sort(key=lambda hit: (hit.distance, hit.oid))
+        return hits[:k]
+
+    def knn_precise(
+        self, query: np.ndarray, k: int, *, cand_size: int | None = None
+    ) -> list[SearchHit]:
+        """Precise k-NN: approximate pass for an upper bound rho_k, then
+        a confirming range query ``R(q, rho_k)`` (§4.2).
+
+        Requires the PRECISE or TRANSFORMED strategy (for the range
+        phase).
+        """
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        if self.strategy is Strategy.APPROXIMATE:
+            raise QueryError(
+                "precise k-NN requires the PRECISE or TRANSFORMED strategy"
+            )
+        cand_size = cand_size if cand_size is not None else max(4 * k, 64)
+        approx = self.knn_search(query, k, cand_size=cand_size)
+        if len(approx) < k:
+            # Fewer than k objects nearby in the approximate pass
+            # (tiny index): an infinite radius disables all pruning and
+            # the confirming range query returns the whole collection.
+            rho_k = float("inf")
+        else:
+            rho_k = approx[k - 1].distance
+        hits = self.range_search(query, rho_k)
+        return hits[:k]
+
+    # ------------------------------------------------------------------
+    # refinement (Algorithm 2 lines 11–16)
+    # ------------------------------------------------------------------
+
+    def _refine(
+        self,
+        query: np.ndarray,
+        reader: Reader,
+        *,
+        radius: float | None = None,
+        refine_limit: int | None = None,
+    ) -> list[SearchHit]:
+        count = reader.u32()
+        hits: list[SearchHit] = []
+        limit = count if refine_limit is None else min(refine_limit, count)
+        with self.costs.time(CLIENT):
+            entries = [CandidateEntry.read_from(reader) for _ in range(count)]
+            reader.expect_end()
+            head = entries[:limit]
+            if head:
+                with self.costs.time(DECRYPTION):
+                    plaintexts = self.secret_key.cipher.decrypt_many(
+                        [entry.payload for entry in head]
+                    )
+                    candidates = np.stack(
+                        [payload_to_vector(p) for p in plaintexts]
+                    )
+                with self.costs.time(DISTANCE):
+                    distances = self.space.d_batch(query, candidates)
+                for entry, vector, distance in zip(
+                    head, candidates, distances
+                ):
+                    if radius is None or distance <= radius:
+                        hits.append(
+                            SearchHit(entry.oid, vector, float(distance))
+                        )
+            self.costs.add_count("candidates_received", count)
+            self.costs.add_count("candidates_refined", limit)
+        return hits
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+
+    def report(self) -> CostReport:
+        """Snapshot of all cost components since the last reset."""
+        return CostReport(
+            client_time=self.costs.seconds(CLIENT),
+            encryption_time=self.costs.seconds(ENCRYPTION),
+            decryption_time=self.costs.seconds(DECRYPTION),
+            distance_time=self.costs.seconds(DISTANCE),
+            server_time=self.rpc.server_time,
+            communication_time=self.rpc.channel.communication_time,
+            communication_bytes=self.rpc.channel.bytes_total,
+            extras={
+                "distance_computations": self.space.distance_count,
+                "candidates_received": self.costs.count("candidates_received"),
+            },
+        )
+
+    def reset_accounting(self) -> None:
+        """Zero client, server-view and channel accounting."""
+        self.costs.reset()
+        self.rpc.reset_accounting()
+        self.space.reset_counter()
+
+
+class DataOwner:
+    """The construction-phase role: generates the key, outsources data.
+
+    The owner *is* an authorized client with extra responsibilities, so
+    it wraps an :class:`EncryptedClient` and exposes
+    :meth:`authorize` for handing the secret key to further clients.
+    """
+
+    def __init__(
+        self,
+        secret_key: SecretKey,
+        space: MetricSpace,
+        rpc: RpcClient,
+        *,
+        strategy: Strategy = Strategy.APPROXIMATE,
+    ) -> None:
+        self.client = EncryptedClient(secret_key, space, rpc, strategy=strategy)
+
+    @classmethod
+    def create(
+        cls,
+        data: np.ndarray,
+        space: MetricSpace,
+        rpc: RpcClient,
+        *,
+        n_pivots: int,
+        strategy: Strategy = Strategy.APPROXIMATE,
+        rng: np.random.Generator | None = None,
+        pivot_strategy: str = "random",
+        key_bits: int = 128,
+    ) -> "DataOwner":
+        """Generate a fresh secret key from the collection and wire up."""
+        key = SecretKey.generate(
+            data,
+            n_pivots,
+            rng=rng,
+            strategy=pivot_strategy,
+            space=space,
+            key_bits=key_bits,
+        )
+        return cls(key, space, rpc, strategy=strategy)
+
+    @property
+    def secret_key(self) -> SecretKey:
+        """The owner's secret key."""
+        return self.client.secret_key
+
+    def outsource(
+        self,
+        oids: Sequence[int],
+        vectors: np.ndarray,
+        *,
+        bulk_size: int = 1000,
+    ) -> int:
+        """Construction phase: encrypt + send the whole collection."""
+        return self.client.insert_many(oids, vectors, bulk_size=bulk_size)
+
+    def authorize(self) -> SecretKey:
+        """Hand the secret key to an authorized client (out of band)."""
+        return self.secret_key

@@ -1,0 +1,146 @@
+"""One-call wiring of an Encrypted M-Index client/server deployment.
+
+:class:`SimilarityCloud` assembles the pieces of Figure 1: the untrusted
+server (M-Index over a storage backend), a transport channel (simulated
+in-process by default, loopback TCP on request), the RPC layer, and the
+data-owner / authorized-client roles holding the secret key.
+
+Typical use::
+
+    cloud = SimilarityCloud.build(
+        data, distance=L1Distance(), n_pivots=30, bucket_capacity=200,
+        strategy=Strategy.APPROXIMATE, seed=7,
+    )
+    cloud.owner.outsource(range(len(data)), data)
+    client = cloud.new_client()
+    hits = client.knn_search(query, k=30, cand_size=600)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.client import DataOwner, EncryptedClient, Strategy
+from repro.core.server import SimilarityCloudServer
+from repro.crypto.keys import SecretKey
+from repro.metric.distances import Distance
+from repro.metric.space import MetricSpace
+from repro.net.channel import InProcessChannel, TcpServer
+from repro.net.rpc import RpcClient
+
+__all__ = ["SimilarityCloud"]
+
+
+class SimilarityCloud:
+    """An assembled encrypted similarity-search deployment."""
+
+    def __init__(
+        self,
+        server: SimilarityCloudServer,
+        owner: DataOwner,
+        *,
+        distance: Distance,
+        dimension: int,
+        latency: float,
+        bandwidth: float | None,
+        tcp_server: TcpServer | None = None,
+    ) -> None:
+        self.server = server
+        self.owner = owner
+        self._distance = distance
+        self._dimension = dimension
+        self._latency = latency
+        self._bandwidth = bandwidth
+        self._tcp_server = tcp_server
+
+    @classmethod
+    def build(
+        cls,
+        data: np.ndarray,
+        *,
+        distance: Distance,
+        n_pivots: int,
+        bucket_capacity: int,
+        strategy: Strategy = Strategy.APPROXIMATE,
+        storage=None,
+        max_level: int = 8,
+        seed: int | None = 0,
+        latency: float = 50e-6,
+        bandwidth: float | None = 1.25e9,
+        use_tcp: bool = False,
+        pivot_strategy: str = "random",
+    ) -> "SimilarityCloud":
+        """Build a server and a data owner over a fresh channel.
+
+        ``seed`` drives pivot selection and the cipher key; with the
+        default in-process channel the communication-time model uses
+        ``latency`` (seconds, one way) and ``bandwidth`` (bytes/s).
+        ``use_tcp=True`` starts a real loopback TCP server instead.
+        """
+        data = np.asarray(data, dtype=np.float64)
+        dimension = data.shape[1]
+        server = SimilarityCloudServer(
+            n_pivots, bucket_capacity, storage=storage, max_level=max_level
+        )
+        tcp_server: TcpServer | None = None
+        if use_tcp:
+            tcp_server = TcpServer(server.handle)
+        rng = np.random.default_rng(seed) if seed is not None else None
+        owner_space = MetricSpace(distance, dimension)
+        key = SecretKey.generate(
+            data,
+            n_pivots,
+            rng=rng,
+            strategy=pivot_strategy,
+            space=owner_space,
+        )
+        cloud = cls(
+            server,
+            owner=None,  # type: ignore[arg-type] - set right below
+            distance=distance,
+            dimension=dimension,
+            latency=latency,
+            bandwidth=bandwidth,
+            tcp_server=tcp_server,
+        )
+        rpc = cloud._new_rpc()
+        cloud.owner = DataOwner(key, owner_space, rpc, strategy=strategy)
+        return cloud
+
+    # -- channel/client factories -----------------------------------------
+
+    def _new_rpc(self) -> RpcClient:
+        if self._tcp_server is not None:
+            return RpcClient(self._tcp_server.connect())
+        channel = InProcessChannel(
+            self.server.handle,
+            latency=self._latency,
+            bandwidth=self._bandwidth,
+        )
+        return RpcClient(channel)
+
+    def new_client(
+        self, secret_key: SecretKey | None = None
+    ) -> EncryptedClient:
+        """Create an authorized client with its own channel and space.
+
+        Defaults to the owner's key (i.e. the owner authorizes the
+        client); pass an explicit key to model key distribution.
+        """
+        key = secret_key if secret_key is not None else self.owner.authorize()
+        space = MetricSpace(self._distance, self._dimension)
+        return EncryptedClient(
+            key, space, self._new_rpc(), strategy=self.owner.client.strategy
+        )
+
+    def close(self) -> None:
+        """Shut down the TCP server, when one was started."""
+        if self._tcp_server is not None:
+            self._tcp_server.shutdown()
+            self._tcp_server = None
+
+    def __enter__(self) -> "SimilarityCloud":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

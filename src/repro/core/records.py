@@ -1,0 +1,201 @@
+"""Records exchanged with and stored by the similarity-cloud server.
+
+:class:`IndexedRecord` is the unit the server indexes. Its fields mirror
+Algorithm 1's ``e := struct {distances, permutation, data}``:
+
+* ``oid`` — the object identifier referencing the raw-data storage,
+* ``permutation`` — the pivot permutation (the M-Index needs at least
+  its prefix to locate the Voronoi cell),
+* ``distances`` — object–pivot distances; present only under the
+  **precise** strategy (enables range queries + pivot filtering, leaks
+  more),
+* ``payload`` — opaque bytes: the AES token in the encrypted system, or
+  the serialized plaintext vector in the non-encrypted baseline.
+
+Following Algorithm 1, a record travels with *either* the distances
+(precise strategy — the permutation is just their sort order, so the
+server derives it on arrival via :meth:`IndexedRecord.ensure_permutation`)
+*or* the permutation (approximate strategy). The same record type serves
+the encrypted and the plain variant, which keeps the index code
+identical on both sides of the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ProtocolError
+from repro.metric.permutations import pivot_permutation
+from repro.wire.encoding import Reader, Writer
+
+__all__ = [
+    "IndexedRecord",
+    "CandidateEntry",
+    "vector_to_payload",
+    "payload_to_vector",
+]
+
+
+@dataclass
+class IndexedRecord:
+    """One indexed object as stored on the (untrusted) server."""
+
+    oid: int
+    permutation: np.ndarray | None
+    distances: np.ndarray | None
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if self.permutation is None and self.distances is None:
+            raise ProtocolError(
+                "record needs a permutation or pivot distances"
+            )
+        if self.permutation is not None:
+            self.permutation = np.asarray(self.permutation, dtype=np.int32)
+            if self.permutation.ndim != 1 or self.permutation.shape[0] == 0:
+                raise ProtocolError(
+                    f"record permutation must be non-empty 1-D, got shape "
+                    f"{self.permutation.shape}"
+                )
+        if self.distances is not None:
+            self.distances = np.asarray(self.distances, dtype=np.float64)
+            if self.distances.ndim != 1 or self.distances.shape[0] == 0:
+                raise ProtocolError(
+                    f"record distances must be non-empty 1-D, got shape "
+                    f"{self.distances.shape}"
+                )
+            if (
+                self.permutation is not None
+                and self.distances.shape != self.permutation.shape
+            ):
+                raise ProtocolError(
+                    "record distances must align with the permutation: "
+                    f"{self.distances.shape} vs {self.permutation.shape}"
+                )
+        self.payload = bytes(self.payload)
+
+    @property
+    def has_distances(self) -> bool:
+        """True when the precise strategy stored pivot distances."""
+        return self.distances is not None
+
+    @property
+    def n_pivots(self) -> int:
+        """Number of pivots this record was described against."""
+        if self.permutation is not None:
+            return int(self.permutation.shape[0])
+        assert self.distances is not None
+        return int(self.distances.shape[0])
+
+    def ensure_permutation(self) -> np.ndarray:
+        """Return the permutation, deriving it from distances if absent.
+
+        Under the precise strategy only distances travel on the wire;
+        their stable sort order *is* the pivot permutation (§4.1), so the
+        server reconstructs it here on arrival.
+        """
+        if self.permutation is None:
+            assert self.distances is not None
+            self.permutation = pivot_permutation(self.distances)
+        return self.permutation
+
+    @property
+    def payload_size(self) -> int:
+        """Size of the opaque payload in bytes."""
+        return len(self.payload)
+
+    def write_to(self, writer: Writer) -> Writer:
+        """Append the record's wire encoding to ``writer``."""
+        writer.u64(self.oid)
+        flags = (1 if self.permutation is not None else 0) | (
+            2 if self.distances is not None else 0
+        )
+        writer.u8(flags)
+        if self.permutation is not None:
+            writer.i32_array(self.permutation)
+        if self.distances is not None:
+            writer.f64_array(self.distances)
+        writer.blob(self.payload)
+        return writer
+
+    @classmethod
+    def read_from(cls, reader: Reader) -> "IndexedRecord":
+        """Decode one record from ``reader``."""
+        oid = reader.u64()
+        flags = reader.u8()
+        if flags not in (1, 2, 3):
+            raise ProtocolError(f"invalid record flags {flags}")
+        permutation = reader.i32_array() if flags & 1 else None
+        distances = reader.f64_array() if flags & 2 else None
+        payload = reader.blob()
+        return cls(oid, permutation, distances, payload)
+
+    def to_bytes(self) -> bytes:
+        """Standalone wire encoding (used by disk storage)."""
+        return self.write_to(Writer()).getvalue()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "IndexedRecord":
+        """Decode a standalone encoding produced by :meth:`to_bytes`."""
+        reader = Reader(blob)
+        record = cls.read_from(reader)
+        reader.expect_end()
+        return record
+
+    @property
+    def wire_size(self) -> int:
+        """Exact encoded size in bytes (communication-cost accounting)."""
+        size = 8 + 1 + 4 + len(self.payload)
+        if self.permutation is not None:
+            size += 4 + 4 * self.permutation.shape[0]
+        if self.distances is not None:
+            size += 4 + 8 * self.distances.shape[0]
+        return size
+
+
+@dataclass
+class CandidateEntry:
+    """One pre-ranked candidate returned by the server to the client.
+
+    Only the object id and the opaque payload travel back — the
+    permutations/distances stay on the server, and the rank is implied
+    by list order (the paper's "pre-ranked candidate set").
+    """
+
+    oid: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        self.payload = bytes(self.payload)
+
+    def write_to(self, writer: Writer) -> Writer:
+        """Append the entry's wire encoding to ``writer``."""
+        writer.u64(self.oid)
+        writer.blob(self.payload)
+        return writer
+
+    @classmethod
+    def read_from(cls, reader: Reader) -> "CandidateEntry":
+        """Decode one entry from ``reader``."""
+        return cls(reader.u64(), reader.blob())
+
+    @property
+    def wire_size(self) -> int:
+        """Exact encoded size in bytes."""
+        return 8 + 4 + len(self.payload)
+
+
+def vector_to_payload(vector: np.ndarray) -> bytes:
+    """Serialize a plaintext vector as a payload (plain baseline)."""
+    return np.ascontiguousarray(vector, dtype="<f8").tobytes()
+
+
+def payload_to_vector(payload: bytes) -> np.ndarray:
+    """Decode a plaintext-vector payload."""
+    if len(payload) % 8 != 0 or len(payload) == 0:
+        raise ProtocolError(
+            f"plain payload of {len(payload)} bytes is not a float64 vector"
+        )
+    return np.frombuffer(payload, dtype="<f8").astype(np.float64)

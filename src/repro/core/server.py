@@ -1,0 +1,170 @@
+"""The untrusted similarity-cloud server (paper §4.2, Algorithms 3–4).
+
+:class:`SimilarityCloudServer` hosts an M-Index over records whose pivot
+permutations/distances were computed *elsewhere* — the server holds **no
+pivots, no metric function and no plaintext**. Its entire knowledge is
+what §4.3 says may leak to an attacker: encrypted payloads plus pivot
+permutations (or object–pivot distances under the precise strategy).
+
+The server exposes four RPC methods:
+
+``insert``
+    Bulk insert of wire records (Algorithm 1's server part: locate the
+    cell tree leaf, store, split if needed).
+``range``
+    Algorithm 3 — candidate set of a range query from query–pivot
+    distances, after tree pruning and pivot filtering.
+``range_transformed``
+    The §6 future-work variant: candidate set from per-pivot
+    *transformed-space intervals*, so the server filters without ever
+    seeing a true distance value.
+``approx_knn``
+    Algorithm 4 — pre-ranked candidate set of a given size from the
+    query permutation, optionally restricted to a number of cells.
+``stats``
+    Index statistics (diagnostics; not part of any measured phase).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.records import CandidateEntry, IndexedRecord
+from repro.exceptions import QueryError
+from repro.mindex.index import MIndex
+from repro.net.clock import Clock
+from repro.net.rpc import RpcDispatcher
+from repro.storage.memory import MemoryStorage
+from repro.wire.encoding import Reader, Writer
+
+__all__ = ["SimilarityCloudServer"]
+
+
+class SimilarityCloudServer:
+    """Server-side endpoint owning the M-Index and its storage backend.
+
+    Parameters
+    ----------
+    n_pivots:
+        Size of the pivot permutations (the server knows the *number* of
+        pivots — public protocol information — never the pivots).
+    bucket_capacity:
+        M-Index leaf capacity (Table 2).
+    storage:
+        Bucket backend; defaults to :class:`MemoryStorage`.
+    max_level:
+        Maximum cell-tree depth.
+    clock:
+        Clock used for the dispatcher's server-time accounting.
+    """
+
+    def __init__(
+        self,
+        n_pivots: int,
+        bucket_capacity: int,
+        *,
+        storage=None,
+        max_level: int = 8,
+        clock: Clock | None = None,
+    ) -> None:
+        self.storage = storage if storage is not None else MemoryStorage()
+        self.index = MIndex(
+            n_pivots, bucket_capacity, self.storage, max_level=max_level
+        )
+        # one request at a time: the TCP server is threaded (one thread
+        # per client connection) while the index mutates on insert
+        self._lock = threading.Lock()
+        self.dispatcher = RpcDispatcher(clock=clock)
+        self.dispatcher.register("insert", self._handle_insert)
+        self.dispatcher.register("delete", self._handle_delete)
+        self.dispatcher.register("range", self._handle_range)
+        self.dispatcher.register(
+            "range_transformed", self._handle_range_transformed
+        )
+        self.dispatcher.register("approx_knn", self._handle_approx_knn)
+        self.dispatcher.register("stats", self._handle_stats)
+
+    # -- channel plumbing -------------------------------------------------
+
+    def handle(self, request: bytes) -> bytes:
+        """Raw request entry point, pluggable into any channel.
+
+        Serialized with a lock so concurrent TCP clients cannot observe
+        a half-split cell tree.
+        """
+        with self._lock:
+            return self.dispatcher.handle(request)
+
+    @property
+    def server_time(self) -> float:
+        """Accumulated processing time across all handled calls."""
+        return self.dispatcher.server_time
+
+    def reset_accounting(self) -> None:
+        """Zero server-side accounting (between experiment phases)."""
+        self.dispatcher.reset_accounting()
+        self.storage.reset_accounting()
+
+    # -- handlers ------------------------------------------------------------
+
+    def _handle_insert(self, body: Reader) -> Writer:
+        count = body.u32()
+        for _ in range(count):
+            record = IndexedRecord.read_from(body)
+            record.ensure_permutation()
+            self.index.insert(record)
+        body.expect_end()
+        return Writer().u64(len(self.index))
+
+    def _handle_delete(self, body: Reader) -> Writer:
+        record = IndexedRecord.read_from(body)
+        body.expect_end()
+        removed = self.index.delete(record.oid, record.ensure_permutation())
+        return Writer().boolean(removed)
+
+    def _handle_range(self, body: Reader) -> Writer:
+        distances = body.f64_array()
+        radius = body.f64()
+        body.expect_end()
+        candidates = self.index.range_search(distances, radius)
+        return _write_candidates(candidates)
+
+    def _handle_range_transformed(self, body: Reader) -> Writer:
+        lows = body.f64_array()
+        highs = body.f64_array()
+        body.expect_end()
+        candidates = self.index.range_search_transformed(lows, highs)
+        return _write_candidates(candidates)
+
+    def _handle_approx_knn(self, body: Reader) -> Writer:
+        permutation = body.i32_array()
+        cand_size = body.u32()
+        max_cells = body.u32()
+        body.expect_end()
+        if cand_size == 0:
+            raise QueryError("cand_size must be positive")
+        candidates = self.index.approx_knn_candidates(
+            permutation,
+            cand_size,
+            max_cells=max_cells if max_cells > 0 else None,
+        )
+        return _write_candidates(candidates)
+
+    def _handle_stats(self, body: Reader) -> Writer:
+        body.expect_end()
+        stats = self.index.statistics()
+        writer = Writer()
+        writer.u32(len(stats))
+        for key, value in sorted(stats.items()):
+            writer.string(key)
+            writer.f64(float(value))
+        return writer
+
+
+def _write_candidates(candidates: list[IndexedRecord]) -> Writer:
+    """Encode a candidate set: only oid + opaque payload go back."""
+    writer = Writer()
+    writer.u32(len(candidates))
+    for record in candidates:
+        CandidateEntry(record.oid, record.payload).write_to(writer)
+    return writer

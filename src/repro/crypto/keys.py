@@ -1,0 +1,159 @@
+"""The Encrypted M-Index secret key: pivot set + symmetric cipher key.
+
+§4.3 of the paper: *"The secret key of authorized clients consist of the
+set of pivots and key for symmetric cipher used to encrypt the data."*
+The data owner generates a :class:`SecretKey` during the construction
+phase and distributes it out-of-band to authorized clients; the server
+never sees it.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Callable
+
+import numpy as np
+
+from repro.crypto.cipher import AesCipher
+from repro.exceptions import KeyError_
+from repro.metric.pivots import select_pivots
+from repro.metric.space import MetricSpace
+
+__all__ = ["SecretKey"]
+
+_MAGIC = b"RSK1"
+
+
+class SecretKey:
+    """Pivots plus a symmetric cipher key.
+
+    Equality compares both components; serialization is a plain binary
+    blob (the key itself is the secret — it is exchanged over a channel
+    the data owner trusts, never stored on the similarity-cloud server).
+    """
+
+    def __init__(
+        self,
+        pivots: np.ndarray,
+        cipher_key: bytes,
+        *,
+        nonce_factory: Callable[[], bytes] | None = None,
+    ) -> None:
+        pivots = np.asarray(pivots, dtype=np.float64)
+        if pivots.ndim != 2 or pivots.shape[0] == 0:
+            raise KeyError_(
+                f"pivots must be a non-empty 2-D array, got shape {pivots.shape}"
+            )
+        if len(cipher_key) not in (16, 24, 32):
+            raise KeyError_(
+                f"cipher key must be 16, 24 or 32 bytes, got {len(cipher_key)}"
+            )
+        self.pivots = pivots
+        self.cipher_key = bytes(cipher_key)
+        self._cipher = AesCipher(self.cipher_key, nonce_factory=nonce_factory)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        data: np.ndarray,
+        n_pivots: int,
+        *,
+        rng: np.random.Generator | None = None,
+        strategy: str = "random",
+        space: MetricSpace | None = None,
+        key_bits: int = 128,
+        nonce_factory: Callable[[], bytes] | None = None,
+    ) -> "SecretKey":
+        """Generate a key: select pivots from ``data``, draw a cipher key.
+
+        With an ``rng`` the whole key (pivots *and* cipher key bytes) is
+        deterministic, which the reproducible benchmarks rely on; without
+        one the cipher key comes from ``os.urandom``.
+        """
+        if key_bits not in (128, 192, 256):
+            raise KeyError_(f"key_bits must be 128/192/256, got {key_bits}")
+        pivots = select_pivots(
+            data, n_pivots, strategy=strategy, rng=rng, space=space
+        )
+        n_bytes = key_bits // 8
+        if rng is None:
+            cipher_key = os.urandom(n_bytes)
+        else:
+            cipher_key = rng.integers(0, 256, size=n_bytes, dtype=np.uint8).tobytes()
+        return cls(pivots, cipher_key, nonce_factory=nonce_factory)
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def n_pivots(self) -> int:
+        """Number of pivots in the key."""
+        return int(self.pivots.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        """Dimensionality of the pivot vectors."""
+        return int(self.pivots.shape[1])
+
+    @property
+    def cipher(self) -> AesCipher:
+        """The authenticated cipher bound to this key."""
+        return self._cipher
+
+    # -- serialization -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to a binary blob (``RSK1`` header)."""
+        header = struct.pack(
+            "<4sHII", _MAGIC, len(self.cipher_key), self.n_pivots, self.dimension
+        )
+        return header + self.cipher_key + self.pivots.tobytes()
+
+    @classmethod
+    def from_bytes(
+        cls,
+        blob: bytes,
+        *,
+        nonce_factory: Callable[[], bytes] | None = None,
+    ) -> "SecretKey":
+        """Deserialize a blob produced by :meth:`to_bytes`."""
+        header_size = struct.calcsize("<4sHII")
+        if len(blob) < header_size:
+            raise KeyError_("secret key blob truncated")
+        magic, key_len, n_pivots, dim = struct.unpack(
+            "<4sHII", blob[:header_size]
+        )
+        if magic != _MAGIC:
+            raise KeyError_(f"bad secret key magic {magic!r}")
+        expected = header_size + key_len + n_pivots * dim * 8
+        if len(blob) != expected:
+            raise KeyError_(
+                f"secret key blob has {len(blob)} bytes, expected {expected}"
+            )
+        cipher_key = blob[header_size : header_size + key_len]
+        pivots = np.frombuffer(
+            blob[header_size + key_len :], dtype=np.float64
+        ).reshape(n_pivots, dim)
+        return cls(pivots.copy(), cipher_key, nonce_factory=nonce_factory)
+
+    # -- dunder ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SecretKey):
+            return NotImplemented
+        return (
+            self.cipher_key == other.cipher_key
+            and self.pivots.shape == other.pivots.shape
+            and bool(np.array_equal(self.pivots, other.pivots))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.cipher_key, self.pivots.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - never leak key material
+        return (
+            f"SecretKey(n_pivots={self.n_pivots}, dimension={self.dimension}, "
+            f"<{len(self.cipher_key) * 8}-bit cipher key>)"
+        )

@@ -1,0 +1,213 @@
+"""Block-cipher modes of operation: ECB, CBC and CTR.
+
+ECB and CBC operate on PKCS#7-padded input; CTR is a stream mode
+(ciphertext length == plaintext length) and is the mode the Encrypted
+M-Index uses for object payloads. The CTR keystream is produced through
+the vectorized block-encryption path, so encrypting a large payload costs
+one numpy pass instead of a Python loop per block.
+
+ECB is provided for completeness and test vectors only — it leaks equal
+blocks and must not be used for object payloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.aes import BLOCK_SIZE, AesKey, decrypt_blocks, encrypt_blocks
+from repro.exceptions import CryptoError
+
+__all__ = [
+    "ecb_encrypt",
+    "ecb_decrypt",
+    "cbc_encrypt",
+    "cbc_decrypt",
+    "counter_blocks",
+    "ctr_keystream",
+    "ctr_transform",
+    "ctr_transform_many",
+]
+
+
+def _check_blocks(data: bytes, what: str) -> np.ndarray:
+    if len(data) == 0 or len(data) % BLOCK_SIZE != 0:
+        raise CryptoError(
+            f"{what} length {len(data)} is not a positive multiple of "
+            f"{BLOCK_SIZE}"
+        )
+    return np.frombuffer(data, dtype=np.uint8).reshape(-1, BLOCK_SIZE)
+
+
+def ecb_encrypt(key: AesKey, plaintext: bytes) -> bytes:
+    """Encrypt whole blocks in ECB mode (test vectors only)."""
+    blocks = _check_blocks(plaintext, "plaintext")
+    return encrypt_blocks(key, blocks).tobytes()
+
+
+def ecb_decrypt(key: AesKey, ciphertext: bytes) -> bytes:
+    """Decrypt whole blocks in ECB mode."""
+    blocks = _check_blocks(ciphertext, "ciphertext")
+    return decrypt_blocks(key, blocks).tobytes()
+
+
+def cbc_encrypt(key: AesKey, plaintext: bytes, iv: bytes) -> bytes:
+    """Encrypt whole blocks in CBC mode (input must be padded)."""
+    if len(iv) != BLOCK_SIZE:
+        raise CryptoError(f"IV must be {BLOCK_SIZE} bytes, got {len(iv)}")
+    blocks = _check_blocks(plaintext, "plaintext")
+    previous = np.frombuffer(iv, dtype=np.uint8)
+    out = np.empty_like(blocks)
+    for i in range(blocks.shape[0]):
+        previous = encrypt_blocks(key, blocks[i] ^ previous)
+        out[i] = previous
+    return out.tobytes()
+
+
+def cbc_decrypt(key: AesKey, ciphertext: bytes, iv: bytes) -> bytes:
+    """Decrypt whole blocks in CBC mode."""
+    if len(iv) != BLOCK_SIZE:
+        raise CryptoError(f"IV must be {BLOCK_SIZE} bytes, got {len(iv)}")
+    blocks = _check_blocks(ciphertext, "ciphertext")
+    decrypted = decrypt_blocks(key, blocks)
+    previous = np.vstack(
+        [np.frombuffer(iv, dtype=np.uint8).reshape(1, -1), blocks[:-1]]
+    )
+    return (decrypted ^ previous).tobytes()
+
+
+def ctr_keystream(key: AesKey, nonce: bytes, length: int) -> np.ndarray:
+    """CTR keystream bytes for a 16-byte initial counter block ``nonce``.
+
+    The counter occupies the full 16-byte block interpreted as a
+    big-endian integer (NIST SP 800-38A style), incremented per block.
+    """
+    if len(nonce) != BLOCK_SIZE:
+        raise CryptoError(f"nonce must be {BLOCK_SIZE} bytes, got {len(nonce)}")
+    if length < 0:
+        raise CryptoError(f"keystream length must be >= 0, got {length}")
+    if length == 0:
+        return np.empty(0, dtype=np.uint8)
+    n_blocks = (length + BLOCK_SIZE - 1) // BLOCK_SIZE
+    start = int.from_bytes(nonce, "big")
+    counters = counter_blocks(start, n_blocks)
+    stream = encrypt_blocks(key, counters).reshape(-1)
+    return stream[:length]
+
+
+_BYTE_SHIFTS = np.array([56, 48, 40, 32, 24, 16, 8, 0], dtype=np.uint64)
+
+
+def counter_blocks(start: int, n_blocks: int) -> np.ndarray:
+    """Big-endian 16-byte counter blocks ``start .. start + n_blocks - 1``.
+
+    Vectorized for the common case where the low 64-bit half does not
+    wrap; the (astronomically rare under random nonces) wrap falls back
+    to exact big-integer arithmetic.
+    """
+    low = start & 0xFFFFFFFFFFFFFFFF
+    high = (start >> 64) & 0xFFFFFFFFFFFFFFFF
+    counters = np.empty((n_blocks, BLOCK_SIZE), dtype=np.uint8)
+    if low + n_blocks - 1 <= 0xFFFFFFFFFFFFFFFF:
+        offsets = np.arange(n_blocks, dtype=np.uint64)
+        low_vals = np.uint64(low) + offsets
+        counters[:, 8:] = (
+            (low_vals[:, None] >> _BYTE_SHIFTS) & np.uint64(0xFF)
+        ).astype(np.uint8)
+        high_bytes = np.frombuffer(
+            high.to_bytes(8, "big"), dtype=np.uint8
+        )
+        counters[:, :8] = high_bytes
+        return counters
+    mask = (1 << 128) - 1
+    for i in range(n_blocks):
+        value = (start + i) & mask
+        counters[i] = np.frombuffer(value.to_bytes(16, "big"), dtype=np.uint8)
+    return counters
+
+
+def ctr_transform(key: AesKey, nonce: bytes, data: bytes) -> bytes:
+    """Encrypt or decrypt ``data`` in CTR mode (the operation is its own
+    inverse)."""
+    stream = ctr_keystream(key, nonce, len(data))
+    if len(data) == 0:
+        return b""
+    arr = np.frombuffer(data, dtype=np.uint8)
+    return (arr ^ stream).tobytes()
+
+
+def ctr_transform_many(
+    key: AesKey, nonces: list[bytes], datas: list[bytes]
+) -> list[bytes]:
+    """CTR-transform many messages in one vectorized AES pass.
+
+    This is the bulk fast path behind
+    :meth:`repro.crypto.cipher.AesCipher.encrypt_many` /
+    ``decrypt_many``: the counter blocks of *all* messages are built and
+    encrypted as one matrix, amortizing the per-call numpy overhead that
+    dominates small-message CTR. Semantically identical to calling
+    :func:`ctr_transform` per message.
+    """
+    if len(nonces) != len(datas):
+        raise CryptoError(
+            f"got {len(nonces)} nonces for {len(datas)} messages"
+        )
+    if not datas:
+        return []
+    for nonce in nonces:
+        if len(nonce) != BLOCK_SIZE:
+            raise CryptoError(
+                f"nonce must be {BLOCK_SIZE} bytes, got {len(nonce)}"
+            )
+    blocks_per = np.array(
+        [(len(d) + BLOCK_SIZE - 1) // BLOCK_SIZE for d in datas],
+        dtype=np.int64,
+    )
+    total_blocks = int(blocks_per.sum())
+    if total_blocks == 0:
+        return [b"" for _ in datas]
+    nonce_arr = np.frombuffer(b"".join(nonces), dtype=np.uint8).reshape(
+        len(nonces), BLOCK_SIZE
+    )
+    high = np.ascontiguousarray(nonce_arr[:, :8]).view(">u8").ravel()
+    low = np.ascontiguousarray(nonce_arr[:, 8:]).view(">u8").ravel()
+    max_blocks = int(blocks_per.max())
+    counters = np.empty((total_blocks, BLOCK_SIZE), dtype=np.uint8)
+    wrap_risk = low.astype(np.uint64) > np.uint64(
+        0xFFFFFFFFFFFFFFFF - max_blocks
+    )
+    if not np.any(wrap_risk):
+        # One flat ramp per message: repeat each message's low counter
+        # for its block count, add the within-message block offsets.
+        starts = np.repeat(low.astype(np.uint64), blocks_per)
+        boundaries = np.concatenate([[0], np.cumsum(blocks_per)[:-1]])
+        offsets = np.arange(total_blocks, dtype=np.uint64) - np.repeat(
+            boundaries.astype(np.uint64), blocks_per
+        )
+        low_vals = starts + offsets
+        counters[:, 8:] = (
+            (low_vals[:, None] >> _BYTE_SHIFTS) & np.uint64(0xFF)
+        ).astype(np.uint8)
+        high_rows = np.repeat(high.astype(np.uint64), blocks_per)
+        counters[:, :8] = (
+            (high_rows[:, None] >> _BYTE_SHIFTS) & np.uint64(0xFF)
+        ).astype(np.uint8)
+    else:
+        offset = 0
+        for i, n_blocks in enumerate(blocks_per):
+            start = (int(high[i]) << 64) | int(low[i])
+            counters[offset : offset + n_blocks] = counter_blocks(
+                start, int(n_blocks)
+            )
+            offset += int(n_blocks)
+    stream = encrypt_blocks(key, counters).reshape(-1)
+    outputs: list[bytes] = []
+    offset_bytes = 0
+    for data, n_blocks in zip(datas, blocks_per):
+        if len(data) == 0:
+            outputs.append(b"")
+        else:
+            ks = stream[offset_bytes : offset_bytes + len(data)]
+            arr = np.frombuffer(data, dtype=np.uint8)
+            outputs.append((arr ^ ks).tobytes())
+        offset_bytes += int(n_blocks) * BLOCK_SIZE
+    return outputs

@@ -1,0 +1,35 @@
+"""PKCS#7 padding (RFC 5652 §6.3) for block-cipher modes."""
+
+from __future__ import annotations
+
+from repro.exceptions import PaddingError
+
+__all__ = ["pkcs7_pad", "pkcs7_unpad"]
+
+
+def pkcs7_pad(data: bytes, block_size: int = 16) -> bytes:
+    """Pad ``data`` to a multiple of ``block_size``.
+
+    Always appends at least one byte, so the padding is unambiguous.
+    """
+    if not 1 <= block_size <= 255:
+        raise PaddingError(f"block size must be in 1..255, got {block_size}")
+    pad_len = block_size - (len(data) % block_size)
+    return data + bytes([pad_len]) * pad_len
+
+
+def pkcs7_unpad(data: bytes, block_size: int = 16) -> bytes:
+    """Strip PKCS#7 padding, validating every padding byte."""
+    if not 1 <= block_size <= 255:
+        raise PaddingError(f"block size must be in 1..255, got {block_size}")
+    if not data or len(data) % block_size != 0:
+        raise PaddingError(
+            f"padded data length {len(data)} is not a positive multiple "
+            f"of {block_size}"
+        )
+    pad_len = data[-1]
+    if pad_len < 1 or pad_len > block_size:
+        raise PaddingError(f"invalid padding length byte {pad_len}")
+    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise PaddingError("corrupt padding bytes")
+    return data[:-pad_len]

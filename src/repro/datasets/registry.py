@@ -1,0 +1,207 @@
+"""Named data sets matching the paper's Table 1, plus query sampling.
+
+``load_dataset("yeast" | "human" | "cophir")`` returns a
+:class:`Dataset` with the collection, held-out query objects (the paper
+samples 100 queries and excludes them from the indexed set for the 1-NN
+comparison), the metric, and the M-Index parameters of Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.synthetic import (
+    COPHIR_BLOCKS,
+    gene_expression_matrix,
+    image_descriptor_matrix,
+)
+from repro.exceptions import DatasetError
+from repro.metric.distances import (
+    Distance,
+    L1Distance,
+    L2Distance,
+    WeightedCombination,
+)
+
+__all__ = [
+    "Dataset",
+    "cophir_distance",
+    "make_yeast",
+    "make_human",
+    "make_cophir",
+    "load_dataset",
+    "DATASET_NAMES",
+]
+
+DATASET_NAMES = ("yeast", "human", "cophir")
+
+
+@dataclass
+class Dataset:
+    """A named collection with queries, metric and index parameters."""
+
+    name: str
+    vectors: np.ndarray
+    queries: np.ndarray
+    distance: Distance
+    #: Table 2 parameters for this data set
+    bucket_capacity: int
+    n_pivots: int
+    storage_type: str
+    #: free-form provenance notes
+    info: dict = field(default_factory=dict)
+
+    @property
+    def n_records(self) -> int:
+        """Number of indexed objects (queries excluded)."""
+        return int(self.vectors.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        """Vector dimensionality."""
+        return int(self.vectors.shape[1])
+
+    def oids(self) -> np.ndarray:
+        """Object identifiers 0..n-1."""
+        return np.arange(self.n_records, dtype=np.int64)
+
+
+def cophir_distance() -> WeightedCombination:
+    """The CoPhIR-style combined metric over the five MPEG-7 blocks.
+
+    Sub-metrics and weights follow the published CoPhIR configuration in
+    spirit: L1 on the histogram-like descriptors, L2 on color layout and
+    texture, weighted so every block contributes at the same order of
+    magnitude. The combination of metrics over fixed disjoint blocks is
+    itself a metric.
+    """
+    weights = {
+        "scalable_color": 2.0,
+        "color_structure": 3.0,
+        "color_layout": 2.0,
+        "edge_histogram": 4.0,
+        "homogeneous_texture": 0.5,
+    }
+    sub_metric: dict[str, Distance] = {
+        "scalable_color": L1Distance(),
+        "color_structure": L1Distance(),
+        "color_layout": L2Distance(),
+        "edge_histogram": L1Distance(),
+        "homogeneous_texture": L2Distance(),
+    }
+    components = []
+    offset = 0
+    for name, width in COPHIR_BLOCKS:
+        components.append((sub_metric[name], offset, offset + width, weights[name]))
+        offset += width
+    return WeightedCombination(components)
+
+
+def _split_queries(
+    matrix: np.ndarray, n_queries: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Hold out ``n_queries`` random rows as query objects."""
+    n = matrix.shape[0]
+    if n_queries >= n:
+        raise DatasetError(
+            f"cannot hold out {n_queries} queries from {n} rows"
+        )
+    query_idx = rng.choice(n, size=n_queries, replace=False)
+    mask = np.ones(n, dtype=bool)
+    mask[query_idx] = False
+    return matrix[mask].copy(), matrix[query_idx].copy()
+
+
+def make_yeast(*, seed: int = 17, n_queries: int = 100) -> Dataset:
+    """YEAST stand-in: 2,882 × 17 gene-expression matrix under L1."""
+    rng = np.random.default_rng(seed)
+    matrix = gene_expression_matrix(2_882 + n_queries, 17, rng, n_clusters=12)
+    vectors, queries = _split_queries(matrix, n_queries, rng)
+    return Dataset(
+        name="YEAST",
+        vectors=vectors,
+        queries=queries,
+        distance=L1Distance(),
+        bucket_capacity=200,
+        n_pivots=30,
+        storage_type="memory",
+        info={
+            "paper_records": 2_882,
+            "paper_type": "17-dim. num. vectors",
+            "paper_distance": "L1",
+            "substitution": "synthetic clustered gene-expression matrix",
+        },
+    )
+
+
+def make_human(*, seed: int = 23, n_queries: int = 100) -> Dataset:
+    """HUMAN stand-in: 4,026 × 96 gene-expression matrix under L1."""
+    rng = np.random.default_rng(seed)
+    matrix = gene_expression_matrix(4_026 + n_queries, 96, rng, n_clusters=16)
+    vectors, queries = _split_queries(matrix, n_queries, rng)
+    return Dataset(
+        name="HUMAN",
+        vectors=vectors,
+        queries=queries,
+        distance=L1Distance(),
+        bucket_capacity=250,
+        n_pivots=50,
+        storage_type="memory",
+        info={
+            "paper_records": 4_026,
+            "paper_type": "96-dim. num. vectors",
+            "paper_distance": "L1",
+            "substitution": "synthetic clustered gene-expression matrix",
+        },
+    )
+
+
+def make_cophir(
+    *, seed: int = 31, n_records: int = 20_000, n_queries: int = 100
+) -> Dataset:
+    """CoPhIR stand-in: MPEG-7-like 280-dim descriptors, combined metric.
+
+    The paper indexes 1M images; the default here is scaled down to
+    20,000 so the full benchmark suite runs in minutes. Candidate-set
+    sizes in the benches are scaled by the same factor, preserving the
+    |S_C| / |X| fractions the paper's recall discussion is about.
+    """
+    if n_records <= 0:
+        raise DatasetError(f"n_records must be positive, got {n_records}")
+    rng = np.random.default_rng(seed)
+    matrix = image_descriptor_matrix(n_records + n_queries, rng)
+    vectors, queries = _split_queries(matrix, n_queries, rng)
+    return Dataset(
+        name="CoPhIR",
+        vectors=vectors,
+        queries=queries,
+        distance=cophir_distance(),
+        bucket_capacity=1_000,
+        n_pivots=100,
+        storage_type="disk",
+        info={
+            "paper_records": 1_000_000,
+            "paper_type": "280-dim num. vectors",
+            "paper_distance": "combination of Lp",
+            "substitution": (
+                f"synthetic MPEG-7-like descriptors, scaled to {n_records} "
+                "records"
+            ),
+        },
+    )
+
+
+def load_dataset(name: str, **kwargs) -> Dataset:
+    """Load a data set by its (case-insensitive) paper name."""
+    key = name.lower()
+    if key == "yeast":
+        return make_yeast(**kwargs)
+    if key == "human":
+        return make_human(**kwargs)
+    if key == "cophir":
+        return make_cophir(**kwargs)
+    raise DatasetError(
+        f"unknown dataset {name!r}; available: {', '.join(DATASET_NAMES)}"
+    )

@@ -1,0 +1,31 @@
+"""Experiment harness behind every table of the paper's evaluation.
+
+* :mod:`repro.evaluation.metrics` — recall and brute-force ground truth,
+* :mod:`repro.evaluation.runner` — construction- and search-phase
+  experiment runners for the encrypted system and every baseline,
+* :mod:`repro.evaluation.tables` — renders results in the paper's
+  table layout (measures as rows, sweep points as columns).
+"""
+
+from repro.evaluation.metrics import exact_knn, exact_range, recall
+from repro.evaluation.runner import (
+    SearchRow,
+    run_encrypted_construction,
+    run_encrypted_search_sweep,
+    run_plain_construction,
+    run_plain_search_sweep,
+)
+from repro.evaluation.tables import format_construction_table, format_search_table
+
+__all__ = [
+    "SearchRow",
+    "exact_knn",
+    "exact_range",
+    "format_construction_table",
+    "format_search_table",
+    "recall",
+    "run_encrypted_construction",
+    "run_encrypted_search_sweep",
+    "run_plain_construction",
+    "run_plain_search_sweep",
+]

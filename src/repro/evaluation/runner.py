@@ -1,0 +1,213 @@
+"""Experiment runners for the construction and search phases (§5.2/§5.3).
+
+These functions wrap the end-to-end flows the paper measures and return
+:class:`~repro.core.costs.CostReport` snapshots (plus recall for search
+sweeps), from which the table benches render their output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.plain import PlainClient, PlainServer, build_plain
+from repro.core.client import EncryptedClient, Strategy
+from repro.core.cloud import SimilarityCloud
+from repro.core.costs import CostReport
+from repro.datasets.registry import Dataset
+from repro.evaluation.metrics import exact_knn, recall
+from repro.exceptions import EvaluationError
+
+__all__ = [
+    "SearchRow",
+    "run_encrypted_construction",
+    "run_encrypted_search_sweep",
+    "run_plain_construction",
+    "run_plain_search_sweep",
+]
+
+
+@dataclass(frozen=True)
+class SearchRow:
+    """One sweep point: per-query average costs + recall."""
+
+    cand_size: int
+    report: CostReport
+    recall: float
+
+    @property
+    def per_query(self) -> CostReport:
+        """Alias: the report already holds per-query averages."""
+        return self.report
+
+
+def run_encrypted_construction(
+    dataset: Dataset,
+    *,
+    strategy: Strategy = Strategy.APPROXIMATE,
+    seed: int = 0,
+    bulk_size: int = 1000,
+    storage=None,
+    latency: float = 50e-6,
+    bandwidth: float | None = 1.25e9,
+    max_level: int = 8,
+) -> tuple[SimilarityCloud, CostReport]:
+    """Build + populate an encrypted deployment; returns (cloud, costs).
+
+    Mirrors §5.2: bulk inserts of ``bulk_size`` through the encryption
+    client, with the Table 2 parameters taken from the dataset.
+    """
+    cloud = SimilarityCloud.build(
+        dataset.vectors,
+        distance=dataset.distance,
+        n_pivots=dataset.n_pivots,
+        bucket_capacity=dataset.bucket_capacity,
+        strategy=strategy,
+        storage=storage,
+        seed=seed,
+        latency=latency,
+        bandwidth=bandwidth,
+        max_level=max_level,
+    )
+    cloud.owner.client.reset_accounting()
+    cloud.owner.outsource(
+        dataset.oids(), dataset.vectors, bulk_size=bulk_size
+    )
+    return cloud, cloud.owner.client.report()
+
+
+def run_plain_construction(
+    dataset: Dataset,
+    *,
+    seed: int = 0,
+    bulk_size: int = 1000,
+    storage=None,
+    latency: float = 50e-6,
+    bandwidth: float | None = 1.25e9,
+    max_level: int = 8,
+) -> tuple[PlainServer, PlainClient, CostReport]:
+    """Build + populate the non-encrypted baseline with the same pivots.
+
+    The pivot selection replays the encrypted variant's seed so the
+    comparison isolates the encryption layer (paper: "the only
+    difference was the absence of the encryption layer").
+    """
+    from repro.metric.pivots import select_pivots
+
+    rng = np.random.default_rng(seed)
+    pivots = select_pivots(dataset.vectors, dataset.n_pivots, rng=rng)
+    server, client = build_plain(
+        pivots,
+        dataset.distance,
+        dataset.bucket_capacity,
+        storage=storage,
+        max_level=max_level,
+        latency=latency,
+        bandwidth=bandwidth,
+    )
+    client.insert_many(dataset.oids(), dataset.vectors, bulk_size=bulk_size)
+    report = client.report()
+    # expose the server's distance-computation share like Table 4 does
+    report = CostReport(
+        client_time=report.client_time,
+        server_time=report.server_time,
+        communication_time=report.communication_time,
+        communication_bytes=report.communication_bytes,
+        distance_time=server.distance_time,
+        extras={"distance_computations": server.space.distance_count},
+    )
+    return server, client, report
+
+
+def _ground_truth(
+    dataset: Dataset, queries: np.ndarray, k: int
+) -> list[list[int]]:
+    return [
+        exact_knn(dataset.distance, dataset.vectors, query, k)
+        for query in queries
+    ]
+
+
+def run_encrypted_search_sweep(
+    client: EncryptedClient,
+    dataset: Dataset,
+    *,
+    k: int,
+    cand_sizes: list[int],
+    n_queries: int = 100,
+    max_cells: int | None = None,
+) -> list[SearchRow]:
+    """§5.3's search experiment: approximate k-NN over a CandSize sweep.
+
+    Runs ``n_queries`` held-out queries per sweep point and returns
+    per-query-average cost reports plus recall against brute force.
+    """
+    queries = _take_queries(dataset, n_queries)
+    truth = _ground_truth(dataset, queries, k)
+    rows: list[SearchRow] = []
+    for cand_size in cand_sizes:
+        client.reset_accounting()
+        recalls = []
+        for query, true_ids in zip(queries, truth):
+            hits = client.knn_search(
+                query, k, cand_size=cand_size, max_cells=max_cells
+            )
+            recalls.append(recall([hit.oid for hit in hits], true_ids))
+        report = client.report().scaled(len(queries))
+        rows.append(
+            SearchRow(cand_size, report, float(np.mean(recalls)))
+        )
+    return rows
+
+
+def run_plain_search_sweep(
+    server: PlainServer,
+    client: PlainClient,
+    dataset: Dataset,
+    *,
+    k: int,
+    cand_sizes: list[int],
+    n_queries: int = 100,
+    max_cells: int | None = None,
+) -> list[SearchRow]:
+    """Search sweep on the non-encrypted baseline (Tables 7/8).
+
+    The distance-computation row comes from the *server* here — in the
+    plain variant that is where all distances are evaluated.
+    """
+    queries = _take_queries(dataset, n_queries)
+    truth = _ground_truth(dataset, queries, k)
+    rows: list[SearchRow] = []
+    for cand_size in cand_sizes:
+        client.reset_accounting()
+        server.costs.reset()
+        recalls = []
+        for query, true_ids in zip(queries, truth):
+            hits = client.knn_search(
+                query, k, cand_size=cand_size, max_cells=max_cells
+            )
+            recalls.append(recall([hit.oid for hit in hits], true_ids))
+        base = client.report()
+        report = CostReport(
+            client_time=base.client_time,
+            server_time=base.server_time,
+            communication_time=base.communication_time,
+            communication_bytes=base.communication_bytes,
+            distance_time=server.distance_time,
+        ).scaled(len(queries))
+        rows.append(
+            SearchRow(cand_size, report, float(np.mean(recalls)))
+        )
+    return rows
+
+
+def _take_queries(dataset: Dataset, n_queries: int) -> np.ndarray:
+    if n_queries <= 0:
+        raise EvaluationError(f"n_queries must be positive, got {n_queries}")
+    if n_queries > len(dataset.queries):
+        raise EvaluationError(
+            f"dataset holds {len(dataset.queries)} query objects, "
+            f"asked for {n_queries}"
+        )
+    return dataset.queries[:n_queries]

@@ -1,0 +1,90 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the failure domain (metric, crypto,
+index, protocol, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the ``repro`` library."""
+
+
+class MetricError(ReproError):
+    """A metric-space operation received invalid input.
+
+    Examples: dimensionality mismatch between two vectors, a distance
+    function that is not defined for the given domain, or a violated
+    metric postulate detected by :func:`repro.metric.space.check_metric`.
+    """
+
+
+class PivotError(MetricError):
+    """Pivot selection or pivot-permutation computation failed."""
+
+
+class CryptoError(ReproError):
+    """Base class for encryption-layer failures."""
+
+
+class KeyError_(CryptoError):
+    """A cipher key has an invalid length or malformed serialization.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`KeyError`.
+    """
+
+
+class PaddingError(CryptoError):
+    """PKCS#7 unpadding encountered corrupt padding bytes."""
+
+
+class AuthenticationError(CryptoError):
+    """Ciphertext failed its integrity check (HMAC mismatch).
+
+    Raised by :class:`repro.crypto.cipher.AesCipher` when a ciphertext has
+    been tampered with or decrypted with the wrong key.
+    """
+
+
+class StorageError(ReproError):
+    """A bucket/storage backend operation failed."""
+
+
+class BucketCapacityError(StorageError):
+    """An insert would exceed a bucket's fixed capacity and cannot split."""
+
+
+class IndexError_(ReproError):
+    """Base class for M-Index structural failures.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """
+
+
+class ProtocolError(ReproError):
+    """A wire message could not be encoded or decoded."""
+
+
+class ChannelError(ReproError):
+    """A network channel failed to transmit or the peer closed."""
+
+
+class QueryError(ReproError):
+    """A similarity query was malformed (e.g. negative radius, k < 1)."""
+
+
+class AuthorizationError(ReproError):
+    """An operation requiring the secret key was attempted without one."""
+
+
+class DatasetError(ReproError):
+    """A dataset generator or registry lookup received invalid parameters."""
+
+
+class EvaluationError(ReproError):
+    """The experiment harness was configured inconsistently."""

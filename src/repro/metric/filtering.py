@@ -1,0 +1,83 @@
+"""Metric lower/upper bounds for pivot-based filtering.
+
+These are the textbook triangle-inequality bounds (Zezula et al., chapter
+"Similarity Search: The Metric Space Approach") that the M-Index server
+applies in Algorithm 3, lines 5–7:
+
+* lower bound: ``d(q, o) >= max_i |d(q, p_i) - d(o, p_i)|``
+* upper bound: ``d(q, o) <= min_i (d(q, p_i) + d(o, p_i))``
+
+An object can be discarded from a range-query candidate set whenever its
+lower bound exceeds the radius — without ever computing ``d(q, o)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import MetricError
+
+__all__ = [
+    "pivot_filter_lower_bound",
+    "pivot_filter_upper_bound",
+    "pivot_filter_lower_bounds",
+    "pivot_filter_upper_bounds",
+]
+
+
+def pivot_filter_lower_bound(
+    query_distances: np.ndarray, object_distances: np.ndarray
+) -> float:
+    """Largest triangle-inequality lower bound on ``d(q, o)``."""
+    q, o = _pair(query_distances, object_distances)
+    return float(np.abs(q - o).max())
+
+
+def pivot_filter_upper_bound(
+    query_distances: np.ndarray, object_distances: np.ndarray
+) -> float:
+    """Smallest triangle-inequality upper bound on ``d(q, o)``."""
+    q, o = _pair(query_distances, object_distances)
+    return float((q + o).min())
+
+
+def pivot_filter_lower_bounds(
+    query_distances: np.ndarray, object_distance_matrix: np.ndarray
+) -> np.ndarray:
+    """Vectorized lower bounds for many objects at once.
+
+    ``object_distance_matrix`` has one row of pivot distances per object.
+    """
+    q, m = _matrix(query_distances, object_distance_matrix)
+    return np.abs(m - q).max(axis=1)
+
+
+def pivot_filter_upper_bounds(
+    query_distances: np.ndarray, object_distance_matrix: np.ndarray
+) -> np.ndarray:
+    """Vectorized upper bounds for many objects at once."""
+    q, m = _matrix(query_distances, object_distance_matrix)
+    return (m + q).min(axis=1)
+
+
+def _pair(q: np.ndarray, o: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    q = np.asarray(q, dtype=np.float64)
+    o = np.asarray(o, dtype=np.float64)
+    if q.ndim != 1 or o.ndim != 1 or q.shape != o.shape or q.shape[0] == 0:
+        raise MetricError(
+            f"pivot distance vectors must be equal-length 1-D arrays, "
+            f"got {q.shape} and {o.shape}"
+        )
+    return q, o
+
+
+def _matrix(q: np.ndarray, m: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    q = np.asarray(q, dtype=np.float64)
+    m = np.asarray(m, dtype=np.float64)
+    if m.ndim == 1:
+        m = m.reshape(1, -1)
+    if q.ndim != 1 or m.ndim != 2 or m.shape[1] != q.shape[0]:
+        raise MetricError(
+            f"shape mismatch: query {q.shape} vs matrix {m.shape}"
+        )
+    return q, m

@@ -1,0 +1,140 @@
+"""Pivot (reference object) selection strategies.
+
+The paper selects pivots uniformly at random from the data set (§5.1:
+"The pivots used were chosen at random from within the data set").
+Alternative selectors are provided because pivot quality strongly
+influences both recall and pruning power, and the ablation benches use
+them to quantify that influence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import PivotError
+from repro.metric.space import MetricSpace
+
+__all__ = ["select_pivots", "random_pivots", "maxmin_pivots", "spread_pivots"]
+
+
+def random_pivots(
+    data: np.ndarray, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniformly random sample of ``count`` distinct rows (paper default)."""
+    data = _check(data, count)
+    idx = rng.choice(data.shape[0], size=count, replace=False)
+    return data[np.sort(idx)].copy()
+
+
+def maxmin_pivots(
+    data: np.ndarray,
+    count: int,
+    rng: np.random.Generator,
+    space: MetricSpace,
+    *,
+    sample_size: int = 2000,
+) -> np.ndarray:
+    """Farthest-first traversal (max-min) pivot selection.
+
+    Starts from a random object and greedily adds the object maximizing
+    the minimum distance to already-chosen pivots. Runs on a random
+    subsample of at most ``sample_size`` objects to stay near-linear.
+    """
+    data = _check(data, count)
+    n = data.shape[0]
+    if n > sample_size:
+        pool = data[rng.choice(n, size=sample_size, replace=False)]
+    else:
+        pool = data
+    first = int(rng.integers(0, pool.shape[0]))
+    chosen = [first]
+    min_dist = space.d_batch(pool[first], pool)
+    while len(chosen) < count:
+        nxt = int(np.argmax(min_dist))
+        if min_dist[nxt] <= 0.0:
+            # All remaining candidates coincide with a chosen pivot;
+            # fall back to random fill to keep the pivot count intact.
+            remaining = [i for i in range(pool.shape[0]) if i not in chosen]
+            fill = rng.choice(remaining, size=count - len(chosen), replace=False)
+            chosen.extend(int(i) for i in fill)
+            break
+        chosen.append(nxt)
+        min_dist = np.minimum(min_dist, space.d_batch(pool[nxt], pool))
+    return pool[np.array(chosen[:count])].copy()
+
+
+def spread_pivots(
+    data: np.ndarray,
+    count: int,
+    rng: np.random.Generator,
+    space: MetricSpace,
+    *,
+    candidates_per_slot: int = 8,
+    sample_size: int = 500,
+) -> np.ndarray:
+    """Incremental selection maximizing mean distance to chosen pivots.
+
+    A cheaper cousin of max-min that optimizes the average rather than
+    the minimum, producing pivots spread through dense regions.
+    """
+    data = _check(data, count)
+    n = data.shape[0]
+    sample = data[rng.choice(n, size=min(sample_size, n), replace=False)]
+    chosen: list[np.ndarray] = [data[int(rng.integers(0, n))]]
+    while len(chosen) < count:
+        cand_idx = rng.choice(n, size=min(candidates_per_slot, n), replace=False)
+        best_score = -1.0
+        best: np.ndarray | None = None
+        for ci in cand_idx:
+            cand = data[ci]
+            to_chosen = min(space.d(cand, p) for p in chosen)
+            to_sample = float(np.mean(space.d_batch(cand, sample)))
+            score = to_chosen + 0.25 * to_sample
+            if score > best_score:
+                best_score = score
+                best = cand
+        assert best is not None
+        chosen.append(best)
+    return np.stack(chosen).copy()
+
+
+_STRATEGIES = ("random", "maxmin", "spread")
+
+
+def select_pivots(
+    data: np.ndarray,
+    count: int,
+    *,
+    strategy: str = "random",
+    rng: np.random.Generator | None = None,
+    space: MetricSpace | None = None,
+) -> np.ndarray:
+    """Select ``count`` pivots from ``data`` rows using ``strategy``.
+
+    ``strategy`` is one of ``"random"`` (paper default), ``"maxmin"``, or
+    ``"spread"``; the latter two require a ``space`` for distance
+    evaluations. Returns a ``(count, dim)`` array of pivot vectors.
+    """
+    rng = rng or np.random.default_rng(0)
+    if strategy == "random":
+        return random_pivots(data, count, rng)
+    if strategy not in _STRATEGIES:
+        raise PivotError(f"unknown pivot strategy: {strategy!r}")
+    if space is None:
+        raise PivotError(f"strategy {strategy!r} requires a MetricSpace")
+    if strategy == "maxmin":
+        return maxmin_pivots(data, count, rng, space)
+    return spread_pivots(data, count, rng, space)
+
+
+def _check(data: np.ndarray, count: int) -> np.ndarray:
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise PivotError(f"data must be a 2-D matrix, got shape {data.shape}")
+    if count <= 0:
+        raise PivotError(f"pivot count must be positive, got {count}")
+    if count > data.shape[0]:
+        raise PivotError(
+            f"cannot select {count} pivots from {data.shape[0]} objects"
+        )
+    return data

@@ -1,0 +1,128 @@
+"""Metric space wrapper with distance-call accounting and validation.
+
+The paper's cost breakdown hinges on *where* distance computations happen
+(client vs server). :class:`MetricSpace` therefore counts every distance
+evaluation it performs; the encrypted client and the plain server each own
+their own instance, so the per-side "Dist. comp." rows of Tables 3–9 fall
+directly out of the counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import MetricError
+from repro.metric.distances import Distance
+
+__all__ = ["MetricSpace", "check_metric_postulates"]
+
+
+class MetricSpace:
+    """A metric space ``(D, d)`` over fixed-dimension float vectors.
+
+    Parameters
+    ----------
+    distance:
+        The metric function.
+    dimension:
+        Dimensionality of the domain vectors; ``None`` disables the check
+        (useful for tests on ad-hoc data).
+    """
+
+    def __init__(self, distance: Distance, dimension: int | None = None) -> None:
+        if dimension is not None and dimension <= 0:
+            raise MetricError(f"dimension must be positive, got {dimension}")
+        self.distance = distance
+        self.dimension = dimension
+        self._calls = 0
+
+    # -- distance evaluation with accounting ---------------------------
+
+    def d(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Distance between two objects; counts as one evaluation."""
+        self._check_dim(x)
+        self._check_dim(y)
+        self._calls += 1
+        return self.distance(x, y)
+
+    def d_batch(self, q: np.ndarray, xs: np.ndarray) -> np.ndarray:
+        """Distances from ``q`` to each row of ``xs``; counts ``len(xs)``
+        evaluations."""
+        self._check_dim(q)
+        xs = np.asarray(xs, dtype=np.float64)
+        if xs.ndim == 1:
+            xs = xs.reshape(1, -1)
+        self._calls += xs.shape[0]
+        return self.distance.batch(q, xs)
+
+    # -- accounting -----------------------------------------------------
+
+    @property
+    def distance_count(self) -> int:
+        """Total number of distance evaluations performed so far."""
+        return self._calls
+
+    def reset_counter(self) -> int:
+        """Zero the evaluation counter and return the previous value."""
+        previous = self._calls
+        self._calls = 0
+        return previous
+
+    # -- helpers ---------------------------------------------------------
+
+    def _check_dim(self, x: np.ndarray) -> None:
+        if self.dimension is None:
+            return
+        arr = np.asarray(x)
+        if arr.ndim != 1 or arr.shape[0] != self.dimension:
+            raise MetricError(
+                f"object of shape {arr.shape} does not live in "
+                f"{self.dimension}-dimensional space"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricSpace(distance={self.distance!r}, "
+            f"dimension={self.dimension}, calls={self._calls})"
+        )
+
+
+def check_metric_postulates(
+    distance: Distance,
+    sample: np.ndarray,
+    *,
+    rng: np.random.Generator | None = None,
+    triples: int = 200,
+    tolerance: float = 1e-9,
+) -> None:
+    """Verify the four metric postulates on random triples from ``sample``.
+
+    Checks non-negativity, identity of indiscernibles (in the one testable
+    direction, ``d(x, x) == 0``), symmetry, and the triangle inequality on
+    ``triples`` random triples. Raises :class:`MetricError` on the first
+    violation. This is a sampling check — passing it does not *prove* the
+    function is a metric, but it reliably catches implementation bugs.
+    """
+    xs = np.asarray(sample, dtype=np.float64)
+    if xs.ndim != 2 or xs.shape[0] < 3:
+        raise MetricError("postulate check needs a 2-D sample with >= 3 rows")
+    rng = rng or np.random.default_rng(0)
+    n = xs.shape[0]
+    for _ in range(triples):
+        i, j, k = rng.integers(0, n, size=3)
+        x, y, z = xs[i], xs[j], xs[k]
+        dxy = distance(x, y)
+        dyx = distance(y, x)
+        dxz = distance(x, z)
+        dzy = distance(z, y)
+        if dxy < -tolerance:
+            raise MetricError(f"non-negativity violated: d={dxy}")
+        if abs(distance(x, x)) > tolerance:
+            raise MetricError("identity violated: d(x, x) != 0")
+        if abs(dxy - dyx) > tolerance * max(1.0, abs(dxy)):
+            raise MetricError(f"symmetry violated: {dxy} vs {dyx}")
+        if dxy > dxz + dzy + tolerance * max(1.0, dxy):
+            raise MetricError(
+                f"triangle inequality violated: d(x,y)={dxy} > "
+                f"d(x,z)+d(z,y)={dxz + dzy}"
+            )

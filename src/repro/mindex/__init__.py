@@ -1,0 +1,21 @@
+"""The M-Index: a dynamic pivot-permutation metric index (Novak & Batko).
+
+This is the server-side structure of the paper. It consumes
+:class:`~repro.core.records.IndexedRecord` objects that already carry
+their pivot permutation (and, under the precise strategy, pivot
+distances) — the index itself never computes a metric distance, which is
+precisely the property the Encrypted M-Index exploits to keep the pivots
+secret.
+
+* :mod:`repro.mindex.cell_tree` — the dynamic Voronoi cell tree
+  (Figure 3 of the paper),
+* :mod:`repro.mindex.index` — insertion with cell splitting, precise
+  range search with the double-pivot / range-pivot pruning rules and
+  pivot filtering (Algorithm 3), and approximate k-NN by promise-ordered
+  cell traversal (Algorithm 4).
+"""
+
+from repro.mindex.cell_tree import CellTree, LeafCell
+from repro.mindex.index import MIndex, RangeSearchStats
+
+__all__ = ["CellTree", "LeafCell", "MIndex", "RangeSearchStats"]

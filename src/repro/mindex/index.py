@@ -1,0 +1,516 @@
+"""The M-Index: insertion, precise range search, approximate k-NN.
+
+The index operates purely on :class:`~repro.core.records.IndexedRecord`
+objects whose pivot permutations (and optionally pivot distances) were
+computed by whoever holds the pivots — the data owner / authorized
+client in the encrypted system, or the server itself in the plain
+baseline. **No metric distance is ever evaluated inside this module.**
+
+Search algorithms implemented (paper §4.1 / §4.2):
+
+* :meth:`MIndex.range_search` — Algorithm 3. Traverses the cell tree,
+  pruning with the *double-pivot* constraint (from prefixes alone) and
+  the *range-pivot* constraint (from per-leaf distance intervals), then
+  applies per-object *pivot filtering*
+  ``max_i |d(q,p_i) - d(o,p_i)| > r`` to the surviving buckets. Requires
+  records with stored distances (the precise strategy).
+* :meth:`MIndex.approx_knn` — Algorithm 4. Visits leaf cells in order of
+  a permutation-based *promise* value and accumulates records until the
+  requested candidate-set size is reached; the result is pre-ranked so a
+  client may refine only its head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.records import IndexedRecord
+from repro.exceptions import IndexError_, QueryError
+from repro.metric.permutations import inverse_permutation, prefix_promise
+from repro.mindex.cell_tree import CellTree, LeafCell
+
+__all__ = ["MIndex", "RangeSearchStats"]
+
+#: how many leading permutation positions participate in candidate
+#: pre-ranking (a full footrule would add cost without better ordering).
+_RANK_PREFIX = 8
+
+
+@dataclass
+class RangeSearchStats:
+    """Diagnostics of one range query (for tests and ablations)."""
+
+    cells_examined: int = 0
+    cells_accessed: int = 0
+    cells_pruned_double_pivot: int = 0
+    cells_pruned_range_pivot: int = 0
+    records_scanned: int = 0
+    records_filtered: int = 0
+    candidates: int = 0
+
+
+class MIndex:
+    """Dynamic pivot-permutation metric index over a storage backend.
+
+    Parameters
+    ----------
+    n_pivots:
+        Number of pivots the permutations are over.
+    bucket_capacity:
+        Leaf capacity before a split (Table 2's "bucket capacity").
+    storage:
+        A :class:`~repro.storage.memory.MemoryStorage`-compatible backend.
+    max_level:
+        Maximum partitioning depth of the dynamic cell tree.
+    """
+
+    def __init__(
+        self,
+        n_pivots: int,
+        bucket_capacity: int,
+        storage,
+        *,
+        max_level: int = 8,
+    ) -> None:
+        if bucket_capacity <= 0:
+            raise IndexError_(
+                f"bucket capacity must be positive, got {bucket_capacity}"
+            )
+        self.n_pivots = int(n_pivots)
+        self.bucket_capacity = int(bucket_capacity)
+        self.storage = storage
+        self.tree = CellTree(self.n_pivots, min(max_level, self.n_pivots))
+        self._n_records = 0
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, record: IndexedRecord) -> None:
+        """Insert one record, splitting its leaf cell on overflow."""
+        permutation = record.ensure_permutation()
+        if permutation.shape[0] != self.n_pivots:
+            raise IndexError_(
+                f"record permutation over {permutation.shape[0]} "
+                f"pivots does not match index with {self.n_pivots}"
+            )
+        leaf = self.tree.locate_leaf(permutation)
+        self.storage.append(leaf.prefix, record)
+        leaf.note_record(record)
+        self._n_records += 1
+        if leaf.count > self.bucket_capacity and self.tree.can_split(leaf):
+            self._split(leaf)
+
+    def bulk_insert(self, records: list[IndexedRecord]) -> int:
+        """Insert many records; returns the number inserted."""
+        for record in records:
+            self.insert(record)
+        return len(records)
+
+    def bulk_load(self, records: list[IndexedRecord]) -> int:
+        """Build the index from scratch in one recursive partitioning.
+
+        Equivalent to inserting every record into an empty index, but
+        partitions top-down without intermediate splits, so every cell
+        is written to storage exactly once — the difference matters on
+        disk backends (see the bulk-load ablation bench). The index
+        must be empty.
+        """
+        if self._n_records:
+            raise IndexError_(
+                "bulk_load requires an empty index; use bulk_insert to "
+                "extend an existing one"
+            )
+        for record in records:
+            permutation = record.ensure_permutation()
+            if permutation.shape[0] != self.n_pivots:
+                raise IndexError_(
+                    f"record permutation over {permutation.shape[0]} "
+                    f"pivots does not match index with {self.n_pivots}"
+                )
+        self._load_partition(self.tree.root, list(records))
+        self._n_records = len(records)
+        return len(records)
+
+    def _load_partition(self, leaf: LeafCell, records: list[IndexedRecord]) -> None:
+        if len(records) <= self.bucket_capacity or not self.tree.can_split(
+            leaf
+        ):
+            leaf.rebuild_from(records)
+            if records:
+                self.storage.save(leaf.prefix, records)
+            return
+        groups = self.tree.split_leaf(leaf, records)
+        for _pivot, (child, child_records) in groups.items():
+            self._load_partition(child, child_records)
+
+    def rebuild_from_storage(self) -> int:
+        """Reconstruct the cell tree from the storage backend's cells.
+
+        Cell identifiers *are* permutation prefixes, so a restarted
+        server can recover the full tree — counts and range-pivot
+        intervals included — by walking the (disk) cells, without any
+        client involvement or write amplification. Returns the number
+        of recovered records. Any in-memory state is discarded.
+        """
+        self.tree = CellTree(self.n_pivots, self.tree.max_level)
+        self._n_records = 0
+        prefixes = sorted(self.storage.cells(), key=lambda p: (len(p), p))
+        for prefix in prefixes:
+            leaf = self.tree.ensure_leaf(tuple(prefix))
+            records = self.storage.load(prefix)
+            for record in records:
+                record.ensure_permutation()
+            leaf.rebuild_from(records)
+            self._n_records += len(records)
+        return self._n_records
+
+    # ------------------------------------------------------------------
+    # deletion
+    # ------------------------------------------------------------------
+
+    def delete(self, oid: int, permutation: np.ndarray) -> bool:
+        """Remove the record with ``oid`` from its Voronoi cell.
+
+        The caller supplies the object's pivot permutation (the client
+        recomputes it from the plaintext object, exactly as on insert —
+        the server cannot derive it from the oid alone). Returns True
+        when a record was removed, False when no such oid lives in the
+        addressed cell.
+        """
+        perm = np.asarray(permutation)
+        if perm.ndim != 1 or perm.shape[0] != self.n_pivots:
+            raise QueryError(
+                f"permutation must have length {self.n_pivots}, got "
+                f"shape {perm.shape}"
+            )
+        leaf = self.tree.locate_leaf(perm)
+        records = self.storage.load(leaf.prefix)
+        remaining = [record for record in records if record.oid != oid]
+        if len(remaining) == len(records):
+            return False
+        if remaining:
+            self.storage.save(leaf.prefix, remaining)
+        else:
+            self.storage.delete(leaf.prefix)
+        leaf.rebuild_from(remaining)
+        self._n_records -= len(records) - len(remaining)
+        return True
+
+    def _split(self, leaf: LeafCell) -> None:
+        records = self.storage.load(leaf.prefix)
+        groups = self.tree.split_leaf(leaf, records)
+        self.storage.delete(leaf.prefix)
+        for _pivot, (child, child_records) in groups.items():
+            self.storage.save(child.prefix, child_records)
+            # A split may produce a child that itself overflows (all
+            # records sharing the next permutation element); recurse.
+            if child.count > self.bucket_capacity and self.tree.can_split(child):
+                self._split(child)
+
+    # ------------------------------------------------------------------
+    # precise range search (Algorithm 3)
+    # ------------------------------------------------------------------
+
+    def range_search(
+        self,
+        query_distances: np.ndarray,
+        radius: float,
+        *,
+        stats: RangeSearchStats | None = None,
+    ) -> list[IndexedRecord]:
+        """Candidate set of a range query from query–pivot distances.
+
+        Returns every stored record that *may* satisfy
+        ``d(q, o) <= radius`` according to the metric lower bounds; the
+        caller (client or plain server) refines with true distances.
+        """
+        q = np.asarray(query_distances, dtype=np.float64)
+        if q.ndim != 1 or q.shape[0] != self.n_pivots:
+            raise QueryError(
+                f"query distances must have length {self.n_pivots}, "
+                f"got shape {q.shape}"
+            )
+        if radius < 0:
+            raise QueryError(f"radius must be >= 0, got {radius}")
+        stats = stats if stats is not None else RangeSearchStats()
+        order = np.argsort(q, kind="stable")
+        candidates: list[IndexedRecord] = []
+        for leaf in self.tree.leaves():
+            stats.cells_examined += 1
+            if self._double_pivot_bound(q, order, leaf.prefix) > radius:
+                stats.cells_pruned_double_pivot += 1
+                continue
+            if self._range_pivot_bound(q, leaf) > radius:
+                stats.cells_pruned_range_pivot += 1
+                continue
+            records = self.storage.load(leaf.prefix)
+            stats.cells_accessed += 1
+            stats.records_scanned += len(records)
+            candidates.extend(self._pivot_filter(q, radius, records, stats))
+        stats.candidates = len(candidates)
+        return candidates
+
+    def _double_pivot_bound(
+        self, q: np.ndarray, order: np.ndarray, prefix: tuple[int, ...]
+    ) -> float:
+        """Largest double-pivot lower bound on d(q, o) for o in the cell.
+
+        For an object in cell ``(i_1, .., i_l)``, at each level ``t`` the
+        pivot ``i_t`` is the closest among the pivots not used at levels
+        ``< t``, so ``d(o, p_it) <= d(o, p_j)`` for every available
+        ``j``, giving ``d(q,o) >= (d(q,p_it) - d(q,p_j)) / 2``.
+        """
+        if not prefix:
+            return 0.0
+        used: set[int] = set()
+        bound = 0.0
+        for pivot in prefix:
+            # smallest query-pivot distance among pivots not yet used
+            for j in order:
+                if int(j) not in used:
+                    nearest_available = q[int(j)]
+                    break
+            level_bound = (q[pivot] - nearest_available) / 2.0
+            if level_bound > bound:
+                bound = level_bound
+            used.add(pivot)
+        return bound
+
+    @staticmethod
+    def _range_pivot_bound(q: np.ndarray, leaf: LeafCell) -> float:
+        """Range-pivot lower bound from the leaf's distance intervals."""
+        if leaf.intervals is None or leaf.count == 0:
+            return 0.0
+        bound = 0.0
+        for position, pivot in enumerate(leaf.prefix):
+            low, high = leaf.intervals[position]
+            if low > high:  # empty interval (no records noted yet)
+                continue
+            level_bound = max(q[pivot] - high, low - q[pivot])
+            if level_bound > bound:
+                bound = level_bound
+        return bound
+
+    @staticmethod
+    def _pivot_filter(
+        q: np.ndarray,
+        radius: float,
+        records: list[IndexedRecord],
+        stats: RangeSearchStats,
+    ) -> list[IndexedRecord]:
+        """Per-object pivot filtering (Algorithm 3 lines 5–7)."""
+        with_distances = [r for r in records if r.distances is not None]
+        if len(with_distances) != len(records):
+            raise QueryError(
+                "range search requires records stored with pivot "
+                "distances (the precise strategy)"
+            )
+        if not records:
+            return []
+        matrix = np.stack([r.distances for r in records])
+        lower_bounds = np.abs(matrix - q).max(axis=1)
+        keep = lower_bounds <= radius
+        stats.records_filtered += int((~keep).sum())
+        return [record for record, flag in zip(records, keep) if flag]
+
+    # ------------------------------------------------------------------
+    # transformed precise range search (paper §6 future work)
+    # ------------------------------------------------------------------
+
+    def range_search_transformed(
+        self,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        *,
+        stats: RangeSearchStats | None = None,
+    ) -> list[IndexedRecord]:
+        """Range-query candidates from *transformed-space* intervals.
+
+        The level-4 variant (§6): records store a secret monotone
+        transformation ``T`` of their pivot distances, and the client
+        sends, per pivot ``i``, the interval
+        ``[T(d(q,p_i) - r), T(d(q,p_i) + r)]``. Monotonicity makes
+        interval membership equivalent to the pivot-filter condition
+        ``|d(q,p_i) - d(o,p_i)| <= r``, so the result is still a
+        superset of the true answer — while the server sees neither
+        true distances nor their distribution.
+
+        Compared to :meth:`range_search`, the double-pivot constraint
+        is unavailable (it needs arithmetic on distances, which the
+        transformation deliberately destroys); pruning relies on the
+        per-leaf interval overlap test and per-object interval
+        filtering only. The ablation bench quantifies that cost.
+        """
+        lows = np.asarray(lows, dtype=np.float64)
+        highs = np.asarray(highs, dtype=np.float64)
+        if lows.shape != (self.n_pivots,) or highs.shape != (self.n_pivots,):
+            raise QueryError(
+                f"interval arrays must have length {self.n_pivots}, got "
+                f"{lows.shape} and {highs.shape}"
+            )
+        if np.any(lows > highs):
+            raise QueryError("interval lows must not exceed highs")
+        stats = stats if stats is not None else RangeSearchStats()
+        candidates: list[IndexedRecord] = []
+        for leaf in self.tree.leaves():
+            stats.cells_examined += 1
+            if self._interval_prunes_leaf(lows, highs, leaf):
+                stats.cells_pruned_range_pivot += 1
+                continue
+            records = self.storage.load(leaf.prefix)
+            stats.cells_accessed += 1
+            stats.records_scanned += len(records)
+            candidates.extend(
+                self._interval_filter(lows, highs, records, stats)
+            )
+        stats.candidates = len(candidates)
+        return candidates
+
+    @staticmethod
+    def _interval_prunes_leaf(
+        lows: np.ndarray, highs: np.ndarray, leaf: LeafCell
+    ) -> bool:
+        if leaf.intervals is None or leaf.count == 0:
+            return False
+        for position, pivot in enumerate(leaf.prefix):
+            low, high = leaf.intervals[position]
+            if low > high:
+                continue
+            if high < lows[pivot] or low > highs[pivot]:
+                return True
+        return False
+
+    @staticmethod
+    def _interval_filter(
+        lows: np.ndarray,
+        highs: np.ndarray,
+        records: list[IndexedRecord],
+        stats: RangeSearchStats,
+    ) -> list[IndexedRecord]:
+        if not records:
+            return []
+        if any(r.distances is None for r in records):
+            raise QueryError(
+                "transformed range search requires records stored with "
+                "(transformed) pivot distances"
+            )
+        matrix = np.stack([r.distances for r in records])
+        keep = np.all((matrix >= lows) & (matrix <= highs), axis=1)
+        stats.records_filtered += int((~keep).sum())
+        return [record for record, flag in zip(records, keep) if flag]
+
+    # ------------------------------------------------------------------
+    # approximate k-NN (Algorithm 4)
+    # ------------------------------------------------------------------
+
+    def approx_knn_candidates(
+        self,
+        query_permutation: np.ndarray,
+        cand_size: int,
+        *,
+        max_cells: int | None = None,
+    ) -> list[IndexedRecord]:
+        """Pre-ranked candidate set for an approximate k-NN query.
+
+        Visits leaf cells in increasing *promise* order (a damped
+        generalized footrule between the query permutation and the cell
+        prefix), gathering records until ``cand_size`` are collected or
+        ``max_cells`` cells were accessed, then trims to ``cand_size``.
+
+        The returned list is ordered best-first: by cell promise, then
+        by a truncated footrule between each record's permutation prefix
+        and the query's — this is the paper's "pre-ranked" property that
+        lets clients refine only the head of the set.
+        """
+        perm = np.asarray(query_permutation, dtype=np.int64)
+        if perm.ndim != 1 or perm.shape[0] != self.n_pivots:
+            raise QueryError(
+                f"query permutation must have length {self.n_pivots}, "
+                f"got shape {perm.shape}"
+            )
+        if cand_size <= 0:
+            raise QueryError(f"cand_size must be positive, got {cand_size}")
+        if max_cells is not None and max_cells <= 0:
+            raise QueryError(f"max_cells must be positive, got {max_cells}")
+        query_ranks = inverse_permutation(perm)
+        ranked = sorted(
+            (
+                (self._promise(query_ranks, leaf.prefix), leaf.prefix, leaf)
+                for leaf in self.tree.leaves()
+                if leaf.count > 0
+            ),
+            key=lambda item: (item[0], item[1]),
+        )
+        collected: list[tuple[float, np.ndarray, IndexedRecord]] = []
+        cells_accessed = 0
+        for promise, _prefix, leaf in ranked:
+            if len(collected) >= cand_size:
+                break
+            if max_cells is not None and cells_accessed >= max_cells:
+                break
+            records = self.storage.load(leaf.prefix)
+            cells_accessed += 1
+            scores = self._record_scores(query_ranks, records)
+            collected.extend(
+                (promise, score, record)
+                for score, record in zip(scores, records)
+            )
+        collected.sort(key=lambda item: (item[0], item[1], item[2].oid))
+        return [record for _p, _s, record in collected[:cand_size]]
+
+    @staticmethod
+    def _promise(query_ranks: np.ndarray, prefix: tuple[int, ...]) -> float:
+        if not prefix:
+            return 0.0
+        return prefix_promise(query_ranks, prefix)
+
+    @staticmethod
+    def _record_scores(
+        query_ranks: np.ndarray, records: list[IndexedRecord]
+    ) -> np.ndarray:
+        """Truncated-footrule pre-ranking scores, vectorized per bucket."""
+        if not records:
+            return np.empty(0, dtype=np.float64)
+        depth = min(_RANK_PREFIX, query_ranks.shape[0])
+        prefixes = np.stack([r.permutation[:depth] for r in records])
+        positions = np.arange(depth, dtype=np.int64)
+        displacement = np.abs(
+            query_ranks[prefixes].astype(np.int64) - positions
+        )
+        return displacement.sum(axis=1).astype(np.float64)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of indexed records."""
+        return self._n_records
+
+    @property
+    def n_cells(self) -> int:
+        """Number of leaf cells."""
+        return len(self.tree.leaves())
+
+    @property
+    def depth(self) -> int:
+        """Current maximum partitioning depth."""
+        return self.tree.depth
+
+    def statistics(self) -> dict:
+        """Structural statistics for reports and sanity tests."""
+        leaves = self.tree.leaves()
+        occupied = [leaf for leaf in leaves if leaf.count > 0]
+        return {
+            "records": self._n_records,
+            "leaf_cells": len(leaves),
+            "occupied_cells": len(occupied),
+            "max_level": self.tree.depth,
+            "bucket_capacity": self.bucket_capacity,
+            "avg_occupied_bucket": (
+                self._n_records / len(occupied) if occupied else 0.0
+            ),
+        }

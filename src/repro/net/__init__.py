@@ -1,0 +1,32 @@
+"""Network substrate: clocks, channels, and a minimal RPC layer.
+
+The paper runs a Java client and server over loopback TCP and reports
+per-component times. We reproduce the setting twice:
+
+* :class:`InProcessChannel` — deterministic simulation. The request and
+  response travel through a latency + bandwidth cost model, so the
+  "communication time" rows of the tables are reproducible bit-for-bit.
+* :class:`TcpChannel` / :class:`TcpServer` — real sockets over loopback,
+  for honest wall-clock runs (used by the TCP integration tests and an
+  example).
+
+Both channels account bytes exactly; the RPC envelope carries the
+server-side processing time so the client can split "round trip" into
+server time and communication time, as the paper's tables do.
+"""
+
+from repro.net.channel import Channel, InProcessChannel, TcpChannel, TcpServer
+from repro.net.clock import Clock, SimulatedClock, WallClock
+from repro.net.rpc import RpcClient, RpcDispatcher
+
+__all__ = [
+    "Channel",
+    "Clock",
+    "InProcessChannel",
+    "RpcClient",
+    "RpcDispatcher",
+    "SimulatedClock",
+    "TcpChannel",
+    "TcpServer",
+    "WallClock",
+]

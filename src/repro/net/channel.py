@@ -1,0 +1,260 @@
+"""Transport channels between client and server.
+
+A :class:`Channel` carries opaque request bytes to a server handler and
+returns opaque response bytes, while accounting
+
+* ``bytes_sent`` / ``bytes_received`` — the paper's "communication cost",
+* ``communication_time`` — transport time excluding server processing.
+
+:class:`InProcessChannel` runs the handler in the same process and
+charges a deterministic latency + bandwidth cost model against a
+(usually simulated) clock. :class:`TcpChannel` speaks a 4-byte
+length-prefixed framing over a real socket to a :class:`TcpServer`;
+there the communication time is measured as round-trip wall time minus
+the server-reported processing time embedded in the RPC envelope.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import struct
+import threading
+from typing import Callable
+
+from repro.exceptions import ChannelError
+from repro.net.clock import Clock, SimulatedClock, WallClock
+
+__all__ = ["Channel", "InProcessChannel", "TcpChannel", "TcpServer"]
+
+_FRAME = struct.Struct("<I")
+_MAX_FRAME = 1 << 30  # 1 GiB sanity bound
+
+
+class Channel:
+    """Base channel with byte and time accounting."""
+
+    def __init__(self) -> None:
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.communication_time = 0.0
+        self.requests = 0
+
+    def request(self, data: bytes) -> bytes:
+        """Send ``data``, return the server's response bytes."""
+        raise NotImplementedError
+
+    def reset_accounting(self) -> None:
+        """Zero all counters (between experiment phases)."""
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.communication_time = 0.0
+        self.requests = 0
+
+    @property
+    def bytes_total(self) -> int:
+        """Total bytes exchanged in both directions."""
+        return self.bytes_sent + self.bytes_received
+
+
+class InProcessChannel(Channel):
+    """Deterministic in-process channel with a latency/bandwidth model.
+
+    Parameters
+    ----------
+    handler:
+        Server entry point: ``bytes -> bytes``.
+    latency:
+        One-way latency in seconds, charged per direction.
+    bandwidth:
+        Bytes per second; ``None`` or ``inf`` disables the size term.
+    clock:
+        The clock to advance; defaults to a fresh
+        :class:`SimulatedClock`. When the handler shares the same
+        simulated clock, end-to-end timelines stay consistent.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[bytes], bytes],
+        *,
+        latency: float = 50e-6,
+        bandwidth: float | None = 1.25e9,
+        clock: Clock | None = None,
+    ) -> None:
+        super().__init__()
+        if latency < 0:
+            raise ChannelError(f"latency must be >= 0, got {latency}")
+        if bandwidth is not None and bandwidth <= 0:
+            raise ChannelError(f"bandwidth must be > 0, got {bandwidth}")
+        self._handler = handler
+        self._latency = float(latency)
+        self._bandwidth = bandwidth
+        self.clock: Clock = clock if clock is not None else SimulatedClock()
+
+    def _transfer_cost(self, n_bytes: int) -> float:
+        cost = self._latency
+        if self._bandwidth not in (None, float("inf")):
+            cost += n_bytes / float(self._bandwidth)
+        return cost
+
+    def request(self, data: bytes) -> bytes:
+        send_cost = self._transfer_cost(len(data))
+        self._advance(send_cost)
+        response = self._handler(data)
+        recv_cost = self._transfer_cost(len(response))
+        self._advance(recv_cost)
+        self.bytes_sent += len(data)
+        self.bytes_received += len(response)
+        self.communication_time += send_cost + recv_cost
+        self.requests += 1
+        return response
+
+    def _advance(self, seconds: float) -> None:
+        advance = getattr(self.clock, "advance", None)
+        if advance is not None:
+            advance(seconds)
+
+
+class TcpChannel(Channel):
+    """Client side of the framed TCP transport (real sockets).
+
+    Communication time is measured as wall round-trip minus the
+    server-reported processing time, which the caller supplies through
+    :meth:`note_server_time` after decoding the RPC envelope.
+    """
+
+    def __init__(
+        self, host: str, port: int, *, timeout: float = 30.0
+    ) -> None:
+        super().__init__()
+        self._clock = WallClock()
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError as exc:
+            raise ChannelError(f"cannot connect to {host}:{port}: {exc}") from exc
+        self._last_round_trip = 0.0
+
+    def request(self, data: bytes) -> bytes:
+        start = self._clock.now()
+        try:
+            self._sock.sendall(_FRAME.pack(len(data)) + data)
+            response = _recv_frame(self._sock)
+        except OSError as exc:
+            raise ChannelError(f"TCP transfer failed: {exc}") from exc
+        elapsed = self._clock.now() - start
+        self._last_round_trip = elapsed
+        self.bytes_sent += len(data) + _FRAME.size
+        self.bytes_received += len(response) + _FRAME.size
+        # Provisionally charge the full round trip; note_server_time()
+        # subtracts the server's processing share once the envelope is
+        # decoded by the RPC layer.
+        self.communication_time += elapsed
+        self.requests += 1
+        return response
+
+    def note_server_time(self, server_seconds: float) -> None:
+        """Remove server processing time from the last request's cost."""
+        adjustment = min(server_seconds, self._last_round_trip)
+        self.communication_time -= adjustment
+        self._last_round_trip = 0.0
+
+    def close(self) -> None:
+        """Close the underlying socket."""
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close is best effort
+            pass
+
+    def __enter__(self) -> "TcpChannel":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _recv_frame(sock: socket.socket) -> bytes:
+    header = _recv_exact(sock, _FRAME.size)
+    (length,) = _FRAME.unpack(header)
+    if length > _MAX_FRAME:
+        raise ChannelError(f"frame of {length} bytes exceeds limit")
+    return _recv_exact(sock, length)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ChannelError("peer closed connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class TcpServer:
+    """Threaded TCP server wrapping a ``bytes -> bytes`` handler.
+
+    Binds to ``host:port`` (port 0 picks a free port; read it back from
+    :attr:`port`). Use as a context manager or call :meth:`shutdown`.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[bytes], bytes],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        outer = self
+
+        class _Handler(socketserver.BaseRequestHandler):
+            def handle(self) -> None:
+                self.request.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
+                while True:
+                    try:
+                        request = _recv_frame(self.request)
+                    except ChannelError:
+                        return  # client disconnected
+                    response = outer._handler(request)
+                    self.request.sendall(_FRAME.pack(len(response)) + response)
+
+        class _Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._handler = handler
+        self._server = _Server((host, port), _Handler)
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def host(self) -> str:
+        """Bound host address."""
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """Bound port (useful when constructed with port 0)."""
+        return self._server.server_address[1]
+
+    def connect(self) -> TcpChannel:
+        """Open a client channel to this server."""
+        return TcpChannel(self.host, self.port)
+
+    def shutdown(self) -> None:
+        """Stop serving and release the socket."""
+        self._server.shutdown()
+        self._server.server_close()
+
+    def __enter__(self) -> "TcpServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -1,0 +1,50 @@
+"""Clock abstraction: wall clock for real runs, simulated for benches.
+
+Every timed component (client, server, channel) takes a :class:`Clock`.
+With :class:`WallClock` the numbers are honest wall-clock seconds; with
+:class:`SimulatedClock` time only moves when a cost model advances it,
+making the communication-time rows of the tables deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+__all__ = ["Clock", "WallClock", "SimulatedClock"]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Minimal clock interface: monotonically non-decreasing seconds."""
+
+    def now(self) -> float:
+        """Current time in seconds."""
+        ...
+
+
+class WallClock:
+    """Real monotonic wall clock (``time.perf_counter``)."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class SimulatedClock:
+    """A clock that only advances when told to.
+
+    Channels and cost models call :meth:`advance`; timers read
+    :meth:`now`. Starting time defaults to zero.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward; negative advances are rejected."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds} s")
+        self._now += seconds

@@ -1,0 +1,131 @@
+"""Minimal RPC layer over a :class:`~repro.net.channel.Channel`.
+
+Request envelope:  ``string method | blob body``
+Response envelope: ``u8 status | f64 server_time | blob body-or-error``
+
+``server_time`` is the handler's processing time measured by the
+dispatcher; the client uses it to split round-trip time into the
+"server time" and "communication time" rows of the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import ProtocolError, ReproError
+from repro.net.channel import Channel, TcpChannel
+from repro.net.clock import Clock, WallClock
+from repro.wire.encoding import Reader, Writer
+
+__all__ = ["RpcDispatcher", "RpcClient"]
+
+_STATUS_OK = 0
+_STATUS_ERROR = 1
+
+Handler = Callable[[Reader], Writer]
+
+
+class RpcDispatcher:
+    """Server-side method table with per-call time accounting.
+
+    Handlers receive a :class:`Reader` positioned at the request body and
+    return a :class:`Writer` with the response body. Exceptions derived
+    from :class:`ReproError` travel back to the client as error
+    responses; anything else is a bug and propagates.
+    """
+
+    def __init__(self, *, clock: Clock | None = None) -> None:
+        self._handlers: dict[str, Handler] = {}
+        self._clock: Clock = clock or WallClock()
+        self.server_time = 0.0
+        self.calls = 0
+
+    def register(self, method: str, handler: Handler) -> None:
+        """Expose ``handler`` under ``method``."""
+        if method in self._handlers:
+            raise ProtocolError(f"method {method!r} already registered")
+        self._handlers[method] = handler
+
+    def handle(self, request: bytes) -> bytes:
+        """Entry point given to a channel: decode, dispatch, encode.
+
+        A malformed envelope (truncated frame, bad UTF-8 method name)
+        yields an error *response* rather than an exception — a remote
+        peer must never be able to crash the server loop with garbage.
+        """
+        try:
+            reader = Reader(request)
+            method = reader.string()
+            body = Reader(reader.blob())
+        except ProtocolError as exc:
+            response = Writer()
+            response.u8(_STATUS_ERROR).f64(0.0).string(
+                f"malformed request envelope: {exc}"
+            )
+            return response.getvalue()
+        handler = self._handlers.get(method)
+        response = Writer()
+        if handler is None:
+            response.u8(_STATUS_ERROR).f64(0.0).string(
+                f"unknown method {method!r}"
+            )
+            return response.getvalue()
+        start = self._clock.now()
+        try:
+            result = handler(body)
+        except ReproError as exc:
+            elapsed = self._clock.now() - start
+            self.server_time += elapsed
+            self.calls += 1
+            response.u8(_STATUS_ERROR).f64(elapsed).string(
+                f"{type(exc).__name__}: {exc}"
+            )
+            return response.getvalue()
+        elapsed = self._clock.now() - start
+        self.server_time += elapsed
+        self.calls += 1
+        response.u8(_STATUS_OK).f64(elapsed).blob(result.getvalue())
+        return response.getvalue()
+
+    def reset_accounting(self) -> None:
+        """Zero the server-side time counters."""
+        self.server_time = 0.0
+        self.calls = 0
+
+
+class RpcClient:
+    """Client-side caller: frames requests, decodes envelopes.
+
+    Accumulates the ``server_time`` reported by the dispatcher so the
+    experiment harness can read both sides from the client alone.
+    """
+
+    def __init__(self, channel: Channel) -> None:
+        self.channel = channel
+        self.server_time = 0.0
+        self.calls = 0
+
+    def call(self, method: str, body: Writer | bytes = b"") -> Reader:
+        """Invoke ``method`` with ``body``; returns a Reader on the
+        response body. Server-side errors raise :class:`ProtocolError`."""
+        payload = body.getvalue() if isinstance(body, Writer) else bytes(body)
+        request = Writer().string(method).blob(payload).getvalue()
+        raw = self.channel.request(request)
+        reader = Reader(raw)
+        status = reader.u8()
+        server_time = reader.f64()
+        self.server_time += server_time
+        self.calls += 1
+        if isinstance(self.channel, TcpChannel):
+            self.channel.note_server_time(server_time)
+        if status == _STATUS_ERROR:
+            raise ProtocolError(f"server error: {reader.string()}")
+        if status != _STATUS_OK:
+            raise ProtocolError(f"invalid response status {status}")
+        return Reader(reader.blob())
+
+    def reset_accounting(self) -> None:
+        """Zero the client's view of server time and the channel counters."""
+        self.server_time = 0.0
+        self.calls = 0
+        self.channel.reset_accounting()

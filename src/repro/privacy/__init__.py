@@ -1,0 +1,36 @@
+"""Privacy taxonomy (§2.3) and attacker simulations (§4.3).
+
+* :mod:`repro.privacy.levels` — the four privacy levels of §2.3 as
+  code, and a classifier that places each system of this repository on
+  the taxonomy.
+* :mod:`repro.privacy.attacks` — what a compromised server can
+  actually compute from its view: permutation frequency analysis,
+  distance-distribution reconstruction (precise strategy), and a
+  co-occurrence pivot-structure attack using graph clustering.
+* :mod:`repro.privacy.analysis` — quantitative leakage measures
+  (prefix entropy, distribution distance between reconstructed and
+  true distance histograms).
+"""
+
+from repro.privacy.analysis import (
+    distribution_distance,
+    normalized_entropy,
+    prefix_entropy,
+)
+from repro.privacy.attacks import (
+    CooccurrenceAttack,
+    DistanceDistributionAttack,
+    PermutationFrequencyAttack,
+)
+from repro.privacy.levels import PrivacyLevel, classify_system
+
+__all__ = [
+    "CooccurrenceAttack",
+    "DistanceDistributionAttack",
+    "PermutationFrequencyAttack",
+    "PrivacyLevel",
+    "classify_system",
+    "distribution_distance",
+    "normalized_entropy",
+    "prefix_entropy",
+]

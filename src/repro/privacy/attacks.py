@@ -1,0 +1,194 @@
+"""Attacker simulations: what a compromised server can compute (§4.3).
+
+Each attack consumes exactly the **server's view** — the
+:class:`~repro.core.records.IndexedRecord` list with encrypted payloads
+— never the plaintext or the pivots, and produces whatever the paper's
+threat discussion says it could learn:
+
+* :class:`PermutationFrequencyAttack` — from stored permutations the
+  attacker learns the cell-occupancy distribution, i.e. clustering
+  structure of the collection (the residual leak of the approximate
+  strategy the paper acknowledges).
+* :class:`DistanceDistributionAttack` — under the precise strategy the
+  stored object–pivot distances are *true* distances to unknown
+  anchors, so their histogram estimates the collection's distance
+  distribution (why the paper calls distance transformations future
+  work).
+* :class:`CooccurrenceAttack` — pivots that are near each other in the
+  space co-occur at adjacent permutation ranks; spectral clustering of
+  the co-occurrence graph (via networkx) recovers pivot *structure*
+  without knowing any pivot, demonstrating ordering leakage.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import networkx as nx
+import numpy as np
+
+from repro.core.records import IndexedRecord
+from repro.exceptions import EvaluationError
+from repro.privacy.analysis import distribution_distance
+
+__all__ = [
+    "PermutationFrequencyAttack",
+    "DistanceDistributionAttack",
+    "CooccurrenceAttack",
+]
+
+
+def _server_view(records: list[IndexedRecord]) -> list[IndexedRecord]:
+    if not records:
+        raise EvaluationError("attack needs a non-empty server view")
+    return records
+
+
+class PermutationFrequencyAttack:
+    """Estimate collection clustering from permutation prefixes alone."""
+
+    def __init__(self, records: list[IndexedRecord], *, prefix_length: int = 2):
+        self.records = _server_view(records)
+        if prefix_length <= 0:
+            raise EvaluationError(
+                f"prefix_length must be positive, got {prefix_length}"
+            )
+        self.prefix_length = prefix_length
+
+    def cell_histogram(self) -> dict[tuple[int, ...], int]:
+        """Occupancy count per observed permutation prefix."""
+        counts: Counter = Counter()
+        for record in self.records:
+            perm = record.ensure_permutation()
+            counts[tuple(int(x) for x in perm[: self.prefix_length])] += 1
+        return dict(counts)
+
+    def skew(self) -> float:
+        """Occupancy skew: largest cell's share of the collection.
+
+        A perfectly uniform partitioning gives ``1 / n_cells``; values
+        far above that reveal clustering to the attacker.
+        """
+        histogram = self.cell_histogram()
+        total = sum(histogram.values())
+        return max(histogram.values()) / total
+
+    def top_cells(self, count: int = 10) -> list[tuple[tuple[int, ...], int]]:
+        """The ``count`` most populated cells, largest first."""
+        histogram = self.cell_histogram()
+        return sorted(histogram.items(), key=lambda kv: (-kv[1], kv[0]))[:count]
+
+
+class DistanceDistributionAttack:
+    """Reconstruct the distance distribution from stored pivot distances.
+
+    Only applicable to the PRECISE strategy; raises on permutation-only
+    records (which is itself the demonstration that the approximate
+    strategy closes this channel).
+    """
+
+    def __init__(self, records: list[IndexedRecord]) -> None:
+        self.records = _server_view(records)
+        if any(record.distances is None for record in self.records):
+            raise EvaluationError(
+                "server view holds no pivot distances (approximate "
+                "strategy) - the distance-distribution channel is closed"
+            )
+
+    def reconstructed_sample(self) -> np.ndarray:
+        """All object–pivot distances visible to the server, flattened."""
+        return np.concatenate(
+            [record.distances for record in self.records]
+        )
+
+    def leakage_score(self, true_distances: np.ndarray) -> float:
+        """1 - total-variation distance to the true distance sample.
+
+        1.0 means the attacker's reconstruction is statistically
+        indistinguishable from the true object-to-object distance
+        distribution; 0.0 means nothing was learned.
+        """
+        return 1.0 - distribution_distance(
+            self.reconstructed_sample(), true_distances
+        )
+
+
+class CooccurrenceAttack:
+    """Recover pivot proximity structure from rank co-occurrence.
+
+    Builds a weighted graph over pivot indices where the edge weight of
+    ``(i, j)`` counts how often pivots ``i`` and ``j`` appear within a
+    window of top permutation ranks of the same object. Near-by pivots
+    co-occur; community detection on the graph then groups pivots by
+    region of space — structure the server was never told.
+    """
+
+    def __init__(
+        self,
+        records: list[IndexedRecord],
+        n_pivots: int,
+        *,
+        window: int = 3,
+    ) -> None:
+        self.records = _server_view(records)
+        if n_pivots <= 0:
+            raise EvaluationError(f"n_pivots must be positive, got {n_pivots}")
+        if window < 2:
+            raise EvaluationError(f"window must be >= 2, got {window}")
+        self.n_pivots = n_pivots
+        self.window = window
+
+    def cooccurrence_graph(self) -> nx.Graph:
+        """The weighted pivot co-occurrence graph."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.n_pivots))
+        for record in self.records:
+            perm = record.ensure_permutation()
+            head = [int(x) for x in perm[: self.window]]
+            for a_pos in range(len(head)):
+                for b_pos in range(a_pos + 1, len(head)):
+                    a, b = head[a_pos], head[b_pos]
+                    if graph.has_edge(a, b):
+                        graph[a][b]["weight"] += 1
+                    else:
+                        graph.add_edge(a, b, weight=1)
+        return graph
+
+    def pivot_communities(self) -> list[set[int]]:
+        """Greedy-modularity communities of the co-occurrence graph."""
+        graph = self.cooccurrence_graph()
+        communities = nx.algorithms.community.greedy_modularity_communities(
+            graph, weight="weight"
+        )
+        return [set(int(v) for v in community) for community in communities]
+
+    def structure_score(self, pivots: np.ndarray, space) -> float:
+        """Evaluate the attack against ground truth (test harness only).
+
+        Returns the fraction of co-occurrence-community pivot pairs
+        whose true distance is below the median pivot–pivot distance —
+        above 0.5 means the attacker genuinely recovered proximity
+        structure. ``pivots`` and ``space`` are ground-truth inputs
+        available to the *evaluator*, never to the attacker.
+        """
+        pivots = np.asarray(pivots, dtype=np.float64)
+        all_pairs = [
+            space.d(pivots[i], pivots[j])
+            for i in range(len(pivots))
+            for j in range(i + 1, len(pivots))
+        ]
+        median = float(np.median(all_pairs))
+        close = 0
+        total = 0
+        for community in self.pivot_communities():
+            members = sorted(community)
+            for a_pos in range(len(members)):
+                for b_pos in range(a_pos + 1, len(members)):
+                    total += 1
+                    if space.d(
+                        pivots[members[a_pos]], pivots[members[b_pos]]
+                    ) < median:
+                        close += 1
+        if total == 0:
+            return 0.0
+        return close / total

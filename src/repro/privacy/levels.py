@@ -1,0 +1,122 @@
+"""The paper's privacy taxonomy (§2.3) as code.
+
+Four levels, ordered by how much a compromised server can learn:
+
+1. **NO_ENCRYPTION** — plaintext MS objects and index on the server.
+2. **RAW_DATA_ENCRYPTION** — raw data encrypted, MS objects and index
+   plaintext; the metric space leaks entirely.
+3. **MS_OBJECTS_ENCRYPTION** — MS objects (and raw data) encrypted;
+   the server keeps only auxiliary indexing information (permutations
+   or pivot distances). The Encrypted M-Index lives here (§4.3).
+4. **DISTRIBUTION_ENCRYPTION** — additionally hides the distance /
+   distribution information (e.g. via order-preserving transformation);
+   MPT and FDH belong here, and the paper names reaching this level for
+   the M-Index as future work.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["PrivacyLevel", "SystemProfile", "classify_system", "KNOWN_SYSTEMS"]
+
+
+class PrivacyLevel(enum.IntEnum):
+    """§2.3's four levels; higher = less server knowledge."""
+
+    NO_ENCRYPTION = 1
+    RAW_DATA_ENCRYPTION = 2
+    MS_OBJECTS_ENCRYPTION = 3
+    DISTRIBUTION_ENCRYPTION = 4
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """What an outsourced search system exposes to its server."""
+
+    name: str
+    #: server stores plaintext MS objects
+    plaintext_ms_objects: bool
+    #: server stores plaintext raw data (or can reach it)
+    plaintext_raw_data: bool
+    #: server sees true distance values (object–pivot or inter-object)
+    true_distances_visible: bool
+    #: server sees ordering information (permutations, transformed
+    #: distances) but not true distance values
+    ordering_visible: bool = False
+
+
+def classify_system(profile: SystemProfile) -> PrivacyLevel:
+    """Place a system on the §2.3 taxonomy from its exposure profile."""
+    if profile.plaintext_raw_data:
+        return PrivacyLevel.NO_ENCRYPTION
+    if profile.plaintext_ms_objects:
+        return PrivacyLevel.RAW_DATA_ENCRYPTION
+    if profile.true_distances_visible:
+        return PrivacyLevel.MS_OBJECTS_ENCRYPTION
+    if profile.ordering_visible:
+        # Pivot permutations reveal proximity *ordering* but not the
+        # distance distribution; the paper places the permutation-only
+        # Encrypted M-Index at level 3 (§4.3) because ordering across
+        # many objects still constrains the distribution.
+        return PrivacyLevel.MS_OBJECTS_ENCRYPTION
+    return PrivacyLevel.DISTRIBUTION_ENCRYPTION
+
+
+#: Profiles of every system implemented in this repository.
+KNOWN_SYSTEMS: dict[str, SystemProfile] = {
+    "plain-mindex": SystemProfile(
+        name="plain-mindex",
+        plaintext_ms_objects=True,
+        plaintext_raw_data=True,
+        true_distances_visible=True,
+    ),
+    "raw-encrypted-mindex": SystemProfile(
+        name="raw-encrypted-mindex",
+        plaintext_ms_objects=True,
+        plaintext_raw_data=False,
+        true_distances_visible=True,
+    ),
+    "encrypted-mindex-precise": SystemProfile(
+        name="encrypted-mindex-precise",
+        plaintext_ms_objects=False,
+        plaintext_raw_data=False,
+        true_distances_visible=True,
+    ),
+    "encrypted-mindex-approximate": SystemProfile(
+        name="encrypted-mindex-approximate",
+        plaintext_ms_objects=False,
+        plaintext_raw_data=False,
+        true_distances_visible=False,
+        ordering_visible=True,
+    ),
+    "ehi": SystemProfile(
+        name="ehi",
+        plaintext_ms_objects=False,
+        plaintext_raw_data=False,
+        true_distances_visible=False,
+        ordering_visible=False,
+    ),
+    "mpt": SystemProfile(
+        name="mpt",
+        plaintext_ms_objects=False,
+        plaintext_raw_data=False,
+        true_distances_visible=False,
+        ordering_visible=False,
+    ),
+    "fdh": SystemProfile(
+        name="fdh",
+        plaintext_ms_objects=False,
+        plaintext_raw_data=False,
+        true_distances_visible=False,
+        ordering_visible=False,
+    ),
+    "trivial": SystemProfile(
+        name="trivial",
+        plaintext_ms_objects=False,
+        plaintext_raw_data=False,
+        true_distances_visible=False,
+        ordering_visible=False,
+    ),
+}

@@ -1,0 +1,14 @@
+"""Bucket storage backends for M-Index leaf cells.
+
+Table 2 of the paper configures *memory storage* for the small data sets
+and *disk storage* for CoPhIR. Both backends store lists of
+:class:`~repro.core.records.IndexedRecord` keyed by Voronoi-cell id and
+account their I/O (bytes and operation counts) so the ablation benches
+can compare them.
+"""
+
+from repro.storage.bucket import Bucket
+from repro.storage.disk import DiskStorage
+from repro.storage.memory import MemoryStorage
+
+__all__ = ["Bucket", "DiskStorage", "MemoryStorage"]

@@ -1,0 +1,58 @@
+"""Capacity-limited bucket of indexed records (an M-Index leaf cell)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.records import IndexedRecord
+from repro.exceptions import BucketCapacityError, StorageError
+
+__all__ = ["Bucket"]
+
+
+class Bucket:
+    """A leaf-cell container with a fixed capacity.
+
+    The M-Index keeps one bucket per leaf Voronoi cell; when an insert
+    would overflow the bucket and the cell can still be partitioned
+    deeper, the tree splits the cell instead (handled by the index, not
+    the bucket).
+    """
+
+    def __init__(self, capacity: int, records: Iterable[IndexedRecord] = ()) -> None:
+        if capacity <= 0:
+            raise StorageError(f"bucket capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._records: list[IndexedRecord] = list(records)
+        if len(self._records) > self.capacity:
+            raise BucketCapacityError(
+                f"initial records ({len(self._records)}) exceed capacity "
+                f"({self.capacity})"
+            )
+
+    def add(self, record: IndexedRecord) -> None:
+        """Append a record; raises :class:`BucketCapacityError` when full."""
+        if self.is_full:
+            raise BucketCapacityError(
+                f"bucket at capacity {self.capacity}"
+            )
+        self._records.append(record)
+
+    @property
+    def records(self) -> list[IndexedRecord]:
+        """The stored records (live list — callers must not mutate)."""
+        return self._records
+
+    @property
+    def is_full(self) -> bool:
+        """Whether another :meth:`add` would overflow."""
+        return len(self._records) >= self.capacity
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[IndexedRecord]:
+        return iter(self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Bucket({len(self)}/{self.capacity})"

@@ -1,0 +1,124 @@
+"""File-backed bucket storage (Table 2: CoPhIR uses disk storage).
+
+Each Voronoi cell is one file of concatenated length-prefixed record
+encodings under a storage directory. A small in-memory catalog maps cell
+ids to file names and record counts, so existence checks and size
+queries never touch the disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+from pathlib import Path
+from typing import Hashable, Iterator
+
+from repro.core.records import IndexedRecord
+from repro.exceptions import StorageError
+
+__all__ = ["DiskStorage"]
+
+_LEN = struct.Struct("<I")
+
+
+class DiskStorage:
+    """One-file-per-cell disk storage with I/O accounting."""
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self._dir = Path(directory)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._catalog: dict[Hashable, tuple[str, int]] = {}
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.reads = 0
+        self.writes = 0
+
+    # -- core interface (mirrors MemoryStorage) -------------------------
+
+    def save(self, cell_id: Hashable, records: list[IndexedRecord]) -> None:
+        """Store (replace) the record list of a cell."""
+        name = self._file_name(cell_id)
+        blob = b"".join(self._frame(r) for r in records)
+        (self._dir / name).write_bytes(blob)
+        self._catalog[cell_id] = (name, len(records))
+        self.bytes_written += len(blob)
+        self.writes += 1
+
+    def append(self, cell_id: Hashable, record: IndexedRecord) -> None:
+        """Append one record to a cell file, creating it if missing."""
+        name, count = self._catalog.get(cell_id, (self._file_name(cell_id), 0))
+        frame = self._frame(record)
+        with open(self._dir / name, "ab") as fh:
+            fh.write(frame)
+        self._catalog[cell_id] = (name, count + 1)
+        self.bytes_written += len(frame)
+        self.writes += 1
+
+    def load(self, cell_id: Hashable) -> list[IndexedRecord]:
+        """Read back the records of a cell (empty list if absent)."""
+        entry = self._catalog.get(cell_id)
+        if entry is None:
+            return []
+        name, _count = entry
+        blob = (self._dir / name).read_bytes()
+        self.bytes_read += len(blob)
+        self.reads += 1
+        return list(self._parse(blob))
+
+    def delete(self, cell_id: Hashable) -> None:
+        """Remove a cell and its file."""
+        entry = self._catalog.pop(cell_id, None)
+        if entry is None:
+            raise StorageError(f"cell {cell_id!r} does not exist")
+        path = self._dir / entry[0]
+        try:
+            path.unlink()
+        except FileNotFoundError as exc:
+            raise StorageError(f"cell file missing for {cell_id!r}") from exc
+
+    def cell_size(self, cell_id: Hashable) -> int:
+        """Number of records in a cell (from the catalog, no I/O)."""
+        entry = self._catalog.get(cell_id)
+        return 0 if entry is None else entry[1]
+
+    def cells(self) -> Iterator[Hashable]:
+        """Iterate over existing cell ids."""
+        return iter(self._catalog.keys())
+
+    def __len__(self) -> int:
+        """Total number of stored records."""
+        return sum(count for _name, count in self._catalog.values())
+
+    def reset_accounting(self) -> None:
+        """Zero the I/O counters."""
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.reads = 0
+        self.writes = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _frame(record: IndexedRecord) -> bytes:
+        blob = record.to_bytes()
+        return _LEN.pack(len(blob)) + blob
+
+    @staticmethod
+    def _parse(blob: bytes) -> Iterator[IndexedRecord]:
+        offset = 0
+        total = len(blob)
+        while offset < total:
+            if offset + _LEN.size > total:
+                raise StorageError("cell file truncated (frame header)")
+            (length,) = _LEN.unpack_from(blob, offset)
+            offset += _LEN.size
+            if offset + length > total:
+                raise StorageError("cell file truncated (frame body)")
+            yield IndexedRecord.from_bytes(blob[offset : offset + length])
+            offset += length
+
+    @staticmethod
+    def _file_name(cell_id: Hashable) -> str:
+        digest = hashlib.sha1(repr(cell_id).encode("utf-8")).hexdigest()[:24]
+        return f"cell_{digest}.bin"

@@ -1,0 +1,11 @@
+"""Binary wire format: primitives for serializing vectors, permutations
+and protocol messages, with byte-exact size accounting.
+
+The communication-cost numbers of Tables 3–9 are byte counts of these
+encodings, so the encoding is deliberately explicit and stable (little-
+endian, length-prefixed), never ``pickle``.
+"""
+
+from repro.wire.encoding import Reader, Writer
+
+__all__ = ["Reader", "Writer"]

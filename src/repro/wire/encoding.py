@@ -1,0 +1,178 @@
+"""Length-prefixed little-endian binary encoding primitives.
+
+:class:`Writer` builds a message; :class:`Reader` consumes one and
+raises :class:`~repro.exceptions.ProtocolError` on any truncation or
+type confusion. All multi-byte integers are little-endian; arrays carry
+an element-count prefix. These primitives underlie every byte that
+crosses the client/server boundary, so communication-cost measurements
+are exact.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.exceptions import ProtocolError
+
+__all__ = ["Writer", "Reader"]
+
+_U8 = struct.Struct("<B")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_F64 = struct.Struct("<d")
+
+
+class Writer:
+    """Accumulates encoded fields into a byte buffer."""
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def u8(self, value: int) -> "Writer":
+        """Append an unsigned byte."""
+        if not 0 <= value <= 0xFF:
+            raise ProtocolError(f"u8 out of range: {value}")
+        self._parts.append(_U8.pack(value))
+        return self
+
+    def u32(self, value: int) -> "Writer":
+        """Append an unsigned 32-bit integer."""
+        if not 0 <= value <= 0xFFFFFFFF:
+            raise ProtocolError(f"u32 out of range: {value}")
+        self._parts.append(_U32.pack(value))
+        return self
+
+    def u64(self, value: int) -> "Writer":
+        """Append an unsigned 64-bit integer."""
+        if not 0 <= value <= 0xFFFFFFFFFFFFFFFF:
+            raise ProtocolError(f"u64 out of range: {value}")
+        self._parts.append(_U64.pack(value))
+        return self
+
+    def f64(self, value: float) -> "Writer":
+        """Append a 64-bit float."""
+        self._parts.append(_F64.pack(float(value)))
+        return self
+
+    def boolean(self, value: bool) -> "Writer":
+        """Append a boolean as one byte."""
+        return self.u8(1 if value else 0)
+
+    def raw(self, data: bytes) -> "Writer":
+        """Append raw bytes without a length prefix."""
+        self._parts.append(bytes(data))
+        return self
+
+    def blob(self, data: bytes) -> "Writer":
+        """Append length-prefixed bytes."""
+        self.u32(len(data))
+        self._parts.append(bytes(data))
+        return self
+
+    def string(self, text: str) -> "Writer":
+        """Append a length-prefixed UTF-8 string."""
+        return self.blob(text.encode("utf-8"))
+
+    def f64_array(self, arr: np.ndarray) -> "Writer":
+        """Append a length-prefixed float64 array."""
+        a = np.ascontiguousarray(arr, dtype="<f8")
+        if a.ndim != 1:
+            raise ProtocolError(f"f64_array must be 1-D, got shape {a.shape}")
+        self.u32(a.shape[0])
+        self._parts.append(a.tobytes())
+        return self
+
+    def i32_array(self, arr: np.ndarray) -> "Writer":
+        """Append a length-prefixed int32 array."""
+        a = np.ascontiguousarray(arr, dtype="<i4")
+        if a.ndim != 1:
+            raise ProtocolError(f"i32_array must be 1-D, got shape {a.shape}")
+        self.u32(a.shape[0])
+        self._parts.append(a.tobytes())
+        return self
+
+    def getvalue(self) -> bytes:
+        """The encoded message."""
+        return b"".join(self._parts)
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self._parts)
+
+
+class Reader:
+    """Sequentially decodes fields from a byte buffer."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = bytes(data)
+        self._pos = 0
+
+    def _take(self, count: int) -> bytes:
+        if count < 0 or self._pos + count > len(self._data):
+            raise ProtocolError(
+                f"message truncated: need {count} bytes at offset "
+                f"{self._pos}, have {len(self._data) - self._pos}"
+            )
+        chunk = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def u8(self) -> int:
+        """Read an unsigned byte."""
+        return _U8.unpack(self._take(1))[0]
+
+    def u32(self) -> int:
+        """Read an unsigned 32-bit integer."""
+        return _U32.unpack(self._take(4))[0]
+
+    def u64(self) -> int:
+        """Read an unsigned 64-bit integer."""
+        return _U64.unpack(self._take(8))[0]
+
+    def f64(self) -> float:
+        """Read a 64-bit float."""
+        return _F64.unpack(self._take(8))[0]
+
+    def boolean(self) -> bool:
+        """Read a boolean byte."""
+        value = self.u8()
+        if value not in (0, 1):
+            raise ProtocolError(f"invalid boolean byte {value}")
+        return bool(value)
+
+    def blob(self) -> bytes:
+        """Read length-prefixed bytes."""
+        return self._take(self.u32())
+
+    def string(self) -> str:
+        """Read a length-prefixed UTF-8 string."""
+        try:
+            return self.blob().decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"invalid UTF-8 string: {exc}") from exc
+
+    def f64_array(self) -> np.ndarray:
+        """Read a length-prefixed float64 array."""
+        count = self.u32()
+        return np.frombuffer(self._take(count * 8), dtype="<f8").astype(
+            np.float64
+        )
+
+    def i32_array(self) -> np.ndarray:
+        """Read a length-prefixed int32 array."""
+        count = self.u32()
+        return np.frombuffer(self._take(count * 4), dtype="<i4").astype(
+            np.int32
+        )
+
+    def remaining(self) -> int:
+        """Bytes left to read."""
+        return len(self._data) - self._pos
+
+    def expect_end(self) -> None:
+        """Raise if trailing bytes remain."""
+        if self.remaining() != 0:
+            raise ProtocolError(
+                f"{self.remaining()} unexpected trailing bytes"
+            )

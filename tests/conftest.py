@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.client import Strategy
+from repro.core.cloud import SimilarityCloud
+from repro.metric.distances import L1Distance, L2Distance
+from repro.metric.space import MetricSpace
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_data(rng) -> np.ndarray:
+    """A small clustered collection for index tests (600 x 12)."""
+    centers = rng.normal(0.0, 5.0, size=(6, 12))
+    assignment = rng.integers(0, 6, size=600)
+    return centers[assignment] + rng.normal(0.0, 1.0, size=(600, 12))
+
+
+@pytest.fixture
+def queries(rng) -> np.ndarray:
+    return rng.normal(0.0, 4.0, size=(8, 12))
+
+
+@pytest.fixture
+def l1_space() -> MetricSpace:
+    return MetricSpace(L1Distance(), 12)
+
+
+@pytest.fixture
+def l2_space() -> MetricSpace:
+    return MetricSpace(L2Distance(), 12)
+
+
+@pytest.fixture
+def approx_cloud(small_data) -> SimilarityCloud:
+    """A populated approximate-strategy deployment over small_data."""
+    cloud = SimilarityCloud.build(
+        small_data,
+        distance=L1Distance(),
+        n_pivots=8,
+        bucket_capacity=40,
+        strategy=Strategy.APPROXIMATE,
+        seed=7,
+    )
+    cloud.owner.outsource(range(len(small_data)), small_data)
+    return cloud
+
+
+@pytest.fixture
+def precise_cloud(small_data) -> SimilarityCloud:
+    """A populated precise-strategy deployment over small_data."""
+    cloud = SimilarityCloud.build(
+        small_data,
+        distance=L1Distance(),
+        n_pivots=8,
+        bucket_capacity=40,
+        strategy=Strategy.PRECISE,
+        seed=7,
+    )
+    cloud.owner.outsource(range(len(small_data)), small_data)
+    return cloud
+
+
+def brute_force_knn(data: np.ndarray, query: np.ndarray, k: int) -> list[int]:
+    """L1 brute-force k-NN ids with the library's tie-breaking."""
+    dists = np.abs(data - query).sum(axis=1)
+    order = np.lexsort((np.arange(len(data)), dists))
+    return [int(i) for i in order[:k]]

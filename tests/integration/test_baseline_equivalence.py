@@ -1,0 +1,125 @@
+"""All exact systems must return identical answers on identical data.
+
+The Encrypted M-Index (precise), the plain M-Index, Trivial, EHI and
+MPT are all *exact* — whatever their radically different privacy and
+cost profiles, the answer sets must coincide with each other and with
+brute force. This cross-checks five independent search implementations
+against one another.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ehi import build_ehi
+from repro.baselines.mpt import build_mpt
+from repro.baselines.plain import build_plain
+from repro.baselines.trivial import build_trivial
+from repro.core.client import Strategy
+from repro.core.cloud import SimilarityCloud
+from repro.crypto.cipher import AesCipher
+from repro.crypto.keys import SecretKey
+from repro.metric.distances import L1Distance
+from repro.metric.space import MetricSpace
+
+from tests.conftest import brute_force_knn
+
+_N = 400
+
+
+@pytest.fixture(scope="module")
+def systems():
+    rng = np.random.default_rng(99)
+    centers = rng.normal(0.0, 5.0, size=(5, 10))
+    data = centers[rng.integers(0, 5, size=_N)] + rng.normal(
+        0.0, 1.0, size=(_N, 10)
+    )
+    oids = range(_N)
+
+    emi_cloud = SimilarityCloud.build(
+        data, distance=L1Distance(), n_pivots=8, bucket_capacity=30,
+        strategy=Strategy.PRECISE, seed=5,
+    )
+    emi_cloud.owner.outsource(oids, data)
+    emi = emi_cloud.new_client()
+
+    pivots = emi_cloud.owner.secret_key.pivots
+    _pserver, plain = build_plain(pivots, L1Distance(), bucket_capacity=30)
+    plain.insert_many(oids, data)
+
+    key = SecretKey.generate(data, 2, rng=np.random.default_rng(0))
+    _tserver, trivial = build_trivial(key, MetricSpace(L1Distance(), 10))
+    trivial.insert_many(oids, data)
+
+    cipher = AesCipher(bytes(range(16)))
+    _eserver, ehi = build_ehi(
+        cipher, MetricSpace(L1Distance(), 10), leaf_capacity=20, fanout=5
+    )
+    ehi.outsource(oids, data, rng=np.random.default_rng(3))
+
+    references = data[np.random.default_rng(4).choice(_N, 6, replace=False)]
+    _mserver, mpt = build_mpt(
+        references, cipher, MetricSpace(L1Distance(), 10)
+    )
+    mpt.outsource(oids, data, rng=np.random.default_rng(5))
+
+    return data, emi, plain, trivial, ehi, mpt
+
+
+class TestKnnEquivalence:
+    @pytest.mark.parametrize("k", [1, 5, 15])
+    def test_all_exact_systems_agree(self, systems, k):
+        data, emi, plain, trivial, ehi, mpt = systems
+        rng = np.random.default_rng(123 + k)
+        for _ in range(4):
+            q = rng.normal(0.0, 4.0, size=10)
+            expected = brute_force_knn(data, q, k)
+            assert [h.oid for h in emi.knn_precise(q, k)] == expected
+            assert [
+                h.oid for h in plain.knn_search(q, k, cand_size=_N)
+            ] == expected
+            assert [h.oid for h in trivial.knn_search(q, k)] == expected
+            assert [h.oid for h in ehi.knn_search(q, k)] == expected
+            assert [h.oid for h in mpt.knn_search(q, k)] == expected
+
+
+class TestRangeEquivalence:
+    def test_all_exact_systems_agree(self, systems):
+        data, emi, plain, trivial, ehi, mpt = systems
+        rng = np.random.default_rng(321)
+        for _ in range(4):
+            q = rng.normal(0.0, 4.0, size=10)
+            dists = np.abs(data - q).sum(axis=1)
+            radius = float(np.percentile(dists, 5))
+            expected = set(np.nonzero(dists <= radius)[0])
+            assert {h.oid for h in emi.range_search(q, radius)} == expected
+            assert {h.oid for h in plain.range_search(q, radius)} == expected
+            assert {
+                h.oid for h in trivial.range_search(q, radius)
+            } == expected
+            assert {h.oid for h in ehi.range_search(q, radius)} == expected
+            assert {h.oid for h in mpt.range_search(q, radius)} == expected
+
+
+class TestCostProfilesDiffer:
+    """Same answers, different costs — the paper's whole point."""
+
+    def test_trivial_costs_dominate_encrypted(self, systems):
+        data, emi, _plain, trivial, _ehi, _mpt = systems
+        q = np.random.default_rng(7).normal(0.0, 4.0, size=10)
+        emi.reset_accounting()
+        trivial.reset_accounting()
+        emi.knn_search(q, 5, cand_size=50)
+        trivial.knn_search(q, 5)
+        assert (
+            trivial.report().communication_bytes
+            > 3 * emi.report().communication_bytes
+        )
+
+    def test_ehi_needs_more_round_trips_than_emi(self, systems):
+        data, emi, _plain, _trivial, ehi, _mpt = systems
+        q = np.random.default_rng(8).normal(0.0, 4.0, size=10)
+        emi.reset_accounting()
+        ehi.reset_accounting()
+        emi.knn_search(q, 5, cand_size=50)
+        ehi.knn_search(q, 5)
+        assert ehi.rpc.channel.requests > emi.rpc.channel.requests

@@ -1,0 +1,151 @@
+"""End-to-end integration: the full encrypted system against brute force."""
+
+import numpy as np
+import pytest
+
+from repro.core.client import Strategy
+from repro.core.cloud import SimilarityCloud
+from repro.crypto.keys import SecretKey
+from repro.metric.distances import L1Distance, L2Distance
+from repro.storage.disk import DiskStorage
+
+from tests.conftest import brute_force_knn
+
+
+class TestPreciseStrategyIsExact:
+    """Precise range and k-NN must equal brute force, always."""
+
+    def test_range_queries_many_radii(self, precise_cloud, small_data, rng):
+        client = precise_cloud.new_client()
+        for _ in range(10):
+            q = rng.normal(size=12) * 2
+            dists = np.abs(small_data - q).sum(axis=1)
+            for percentile in (1, 10, 50):
+                radius = float(np.percentile(dists, percentile))
+                hits = client.range_search(q, radius)
+                assert {h.oid for h in hits} == set(
+                    np.nonzero(dists <= radius)[0]
+                )
+
+    def test_precise_knn_many_k(self, precise_cloud, small_data, rng):
+        client = precise_cloud.new_client()
+        for k in (1, 5, 30):
+            q = rng.normal(size=12) * 2
+            hits = client.knn_precise(q, k)
+            assert [h.oid for h in hits] == brute_force_knn(small_data, q, k)
+
+    def test_knn_larger_than_collection(self, small_data):
+        cloud = SimilarityCloud.build(
+            small_data[:20],
+            distance=L1Distance(),
+            n_pivots=4,
+            bucket_capacity=10,
+            strategy=Strategy.PRECISE,
+            seed=1,
+        )
+        cloud.owner.outsource(range(20), small_data[:20])
+        client = cloud.new_client()
+        hits = client.knn_precise(np.zeros(12), 50)
+        assert len(hits) == 20  # whole collection, ranked
+
+
+class TestApproximateStrategyQuality:
+    def test_recall_grows_and_saturates(self, approx_cloud, small_data, rng):
+        client = approx_cloud.new_client()
+        recalls = []
+        queries = rng.normal(size=(10, 12)) * 2
+        for cand_size in (30, 120, 600):
+            total = 0.0
+            for q in queries:
+                truth = set(brute_force_knn(small_data, q, 10))
+                hits = client.knn_search(q, 10, cand_size=cand_size)
+                total += len({h.oid for h in hits} & truth) / 10
+            recalls.append(total / len(queries) * 100)
+        assert recalls[0] <= recalls[1] <= recalls[2]
+        assert recalls[2] == 100.0  # cand = collection size -> exact
+
+    def test_key_serialization_roundtrip_preserves_access(
+        self, approx_cloud, small_data, queries
+    ):
+        """A client restored from serialized key bytes must read the
+        same index."""
+        blob = approx_cloud.owner.authorize().to_bytes()
+        restored_key = SecretKey.from_bytes(blob)
+        restored_client = approx_cloud.new_client(secret_key=restored_key)
+        original_client = approx_cloud.new_client()
+        restored_hits = restored_client.knn_search(
+            queries[0], 5, cand_size=200
+        )
+        original_hits = original_client.knn_search(
+            queries[0], 5, cand_size=200
+        )
+        assert [h.oid for h in restored_hits] == [
+            h.oid for h in original_hits
+        ]
+        assert len(restored_hits) == 5
+
+
+class TestDiskBackedDeployment:
+    def test_disk_storage_end_to_end(self, small_data, queries, tmp_path):
+        cloud = SimilarityCloud.build(
+            small_data,
+            distance=L1Distance(),
+            n_pivots=8,
+            bucket_capacity=40,
+            strategy=Strategy.PRECISE,
+            storage=DiskStorage(tmp_path / "index"),
+            seed=7,
+        )
+        cloud.owner.outsource(range(len(small_data)), small_data)
+        client = cloud.new_client()
+        q = queries[0]
+        dists = np.abs(small_data - q).sum(axis=1)
+        radius = float(np.sort(dists)[10])
+        hits = client.range_search(q, radius)
+        assert {h.oid for h in hits} == set(np.nonzero(dists <= radius)[0])
+        assert cloud.server.storage.bytes_read > 0
+
+
+class TestMultipleMetrics:
+    @pytest.mark.parametrize("distance", [L1Distance(), L2Distance()])
+    def test_precise_knn_under_both_metrics(self, small_data, rng, distance):
+        cloud = SimilarityCloud.build(
+            small_data,
+            distance=distance,
+            n_pivots=8,
+            bucket_capacity=40,
+            strategy=Strategy.PRECISE,
+            seed=3,
+        )
+        cloud.owner.outsource(range(len(small_data)), small_data)
+        client = cloud.new_client()
+        q = rng.normal(size=12)
+        hits = client.knn_precise(q, 5)
+        true_dists = distance.batch(q, small_data)
+        expected = list(
+            np.lexsort((np.arange(len(small_data)), true_dists))[:5]
+        )
+        assert [h.oid for h in hits] == expected
+
+
+class TestDynamicInserts:
+    def test_search_after_incremental_inserts(self, small_data, rng):
+        """The paper stresses the index is dynamic: inserts after
+        construction must be searchable immediately."""
+        cloud = SimilarityCloud.build(
+            small_data,
+            distance=L1Distance(),
+            n_pivots=8,
+            bucket_capacity=40,
+            strategy=Strategy.PRECISE,
+            seed=7,
+        )
+        cloud.owner.outsource(range(300), small_data[:300])
+        client = cloud.new_client()
+        # insert the rest through a regular authorized client
+        client.insert_many(
+            range(300, len(small_data)), small_data[300:], bulk_size=64
+        )
+        q = rng.normal(size=12)
+        hits = client.knn_precise(q, 10)
+        assert [h.oid for h in hits] == brute_force_knn(small_data, q, 10)

@@ -1,0 +1,42 @@
+"""The shipped examples must actually run (the fast ones, at least)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+_EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(name: str, timeout: int = 180) -> str:
+    result = subprocess.run(
+        [sys.executable, str(_EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "10-NN results" in out
+        assert "recall vs brute force" in out
+
+    def test_encrypted_text_index(self):
+        out = _run("encrypted_text_index.py")
+        assert "words similar to" in out
+        assert "verified: no plaintext word bytes" in out
+
+    def test_gene_expression_search(self):
+        out = _run("gene_expression_search.py")
+        assert "verified: identical to brute-force" in out
+
+    @pytest.mark.slow
+    def test_privacy_attacks(self):
+        out = _run("privacy_attacks.py", timeout=300)
+        assert "BLOCKED" in out
+        assert "leakage score" in out

@@ -1,0 +1,159 @@
+"""The paper's §5 claims as executable assertions (shape, not numbers).
+
+Each test pins one qualitative claim from the evaluation section:
+
+1. Encrypted communication cost grows linearly with CandSize; the
+   plain variant's is flat (Tables 5/6 vs 7/8).
+2. Recall grows with CandSize and exceeds 90% at ~20% of the YEAST-like
+   collection (§5.3).
+3. Encrypted overall search time is a small multiple (roughly 2–4x) of
+   the plain variant (§5.3: "approximately three times longer").
+4. Construction with encryption costs more than without, and the
+   overhead is dominated by encryption + relocated distance
+   computations (§5.2).
+5. Decryption time scales linearly with the candidate-set size (§5.3).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.client import Strategy
+from repro.datasets.registry import Dataset
+from repro.evaluation.runner import (
+    run_encrypted_construction,
+    run_encrypted_search_sweep,
+    run_plain_construction,
+    run_plain_search_sweep,
+)
+from repro.metric.distances import L1Distance
+
+
+@pytest.fixture(scope="module")
+def yeast_like():
+    """A scaled-down YEAST-shaped dataset (fast enough for CI)."""
+    rng = np.random.default_rng(42)
+    from repro.datasets.synthetic import gene_expression_matrix
+
+    matrix = gene_expression_matrix(1_530, 17, rng, n_clusters=10)
+    return Dataset(
+        name="YEAST-small",
+        vectors=matrix[:1_500],
+        queries=matrix[1_500:],
+        distance=L1Distance(),
+        bucket_capacity=100,
+        n_pivots=20,
+        storage_type="memory",
+    )
+
+
+@pytest.fixture(scope="module")
+def sweeps(yeast_like):
+    cand_sizes = [75, 150, 300, 750]
+    cloud, enc_construction = run_encrypted_construction(
+        yeast_like, strategy=Strategy.APPROXIMATE, seed=11
+    )
+    enc_rows = run_encrypted_search_sweep(
+        cloud.new_client(), yeast_like, k=30,
+        cand_sizes=cand_sizes, n_queries=20,
+    )
+    server, plain_client, plain_construction = run_plain_construction(
+        yeast_like, seed=11
+    )
+    plain_rows = run_plain_search_sweep(
+        server, plain_client, yeast_like, k=30,
+        cand_sizes=cand_sizes, n_queries=20,
+    )
+    return enc_construction, enc_rows, plain_construction, plain_rows
+
+
+class TestClaim1CommunicationCost:
+    def test_encrypted_cost_linear_in_cand_size(self, sweeps):
+        _ec, enc_rows, _pc, _pr = sweeps
+        costs = [row.report.communication_bytes for row in enc_rows]
+        sizes = [row.cand_size for row in enc_rows]
+        # doubling cand size ~doubles bytes (within 15%)
+        for i in range(len(sizes) - 1):
+            growth = costs[i + 1] / costs[i]
+            expected = sizes[i + 1] / sizes[i]
+            assert growth == pytest.approx(expected, rel=0.15)
+
+    def test_plain_cost_flat(self, sweeps):
+        _ec, _er, _pc, plain_rows = sweeps
+        costs = [row.report.communication_bytes for row in plain_rows]
+        assert max(costs) - min(costs) <= 0.02 * max(costs)
+
+    def test_encrypted_cost_exceeds_plain(self, sweeps):
+        _ec, enc_rows, _pc, plain_rows = sweeps
+        assert (
+            enc_rows[-1].report.communication_bytes
+            > 5 * plain_rows[-1].report.communication_bytes
+        )
+
+
+class TestClaim2Recall:
+    def test_recall_monotone_in_cand_size(self, sweeps):
+        _ec, enc_rows, _pc, _pr = sweeps
+        recalls = [row.recall for row in enc_rows]
+        assert recalls == sorted(recalls)
+
+    def test_recall_above_90_at_20_percent(self, sweeps):
+        _ec, enc_rows, _pc, _pr = sweeps
+        # 300 of 1500 = 20% of the collection, the paper's YEAST point
+        at_20_percent = next(r for r in enc_rows if r.cand_size == 300)
+        assert at_20_percent.recall > 90.0
+
+    def test_encrypted_and_plain_recall_identical(self, sweeps):
+        """Both variants run the same M-Index logic, so quality must
+        not change — only costs do."""
+        _ec, enc_rows, _pc, plain_rows = sweeps
+        for enc, plain in zip(enc_rows, plain_rows):
+            assert enc.recall == pytest.approx(plain.recall, abs=1e-9)
+
+
+class TestClaim3SearchOverhead:
+    def test_encrypted_overall_within_2_to_6x_of_plain(self, sweeps):
+        """Paper: ~3x. Allow a generous band — absolute ratios depend
+        on the crypto implementation — but the overhead must be a
+        small constant factor, not orders of magnitude."""
+        _ec, enc_rows, _pc, plain_rows = sweeps
+        ratios = [
+            enc.report.overall_time / plain.report.overall_time
+            for enc, plain in zip(enc_rows, plain_rows)
+        ]
+        assert all(1.5 < ratio < 20.0 for ratio in ratios)
+
+    def test_decryption_dominates_encrypted_client_time(self, sweeps):
+        _ec, enc_rows, _pc, _pr = sweeps
+        big = enc_rows[-1].report
+        assert big.decryption_time > 0.3 * big.client_time
+
+
+class TestClaim4Construction:
+    def test_encrypted_construction_slower(self, sweeps):
+        enc_construction, _er, plain_construction, _pr = sweeps
+        assert (
+            enc_construction.overall_time > plain_construction.overall_time
+        )
+
+    def test_client_does_the_work_when_encrypted(self, sweeps):
+        enc_construction, _er, plain_construction, _pr = sweeps
+        assert enc_construction.client_time > enc_construction.server_time
+        assert (
+            plain_construction.server_time > plain_construction.client_time
+        )
+
+    def test_distance_computations_relocated_to_client(self, sweeps):
+        enc_construction, _er, _pc, _pr = sweeps
+        assert enc_construction.distance_time > 0
+        assert enc_construction.encryption_time > 0
+
+
+class TestClaim5DecryptionScaling:
+    def test_decryption_time_linear_in_cand_size(self, sweeps):
+        _ec, enc_rows, _pc, _pr = sweeps
+        first, last = enc_rows[0], enc_rows[-1]
+        size_ratio = last.cand_size / first.cand_size
+        time_ratio = (
+            last.report.decryption_time / first.report.decryption_time
+        )
+        assert time_ratio == pytest.approx(size_ratio, rel=0.5)

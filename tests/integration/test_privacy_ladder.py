@@ -1,0 +1,153 @@
+"""The §2.3 taxonomy as a runnable ladder.
+
+One runnable system per privacy level, all answering the same 10-NN
+workload over the same collection:
+
+  level 1 — plain M-Index (no encryption),
+  level 2 — raw-data encryption (plain index + encrypted raw store),
+  level 3 — Encrypted M-Index (this paper),
+  level 4 — TRANSFORMED Encrypted M-Index (the §6 extension).
+
+Climbing the ladder must (a) strictly reduce what the server learns and
+(b) monotonically move work/traffic toward the client — the paper's
+security-vs-efficiency trade-off made executable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.plain import build_plain
+from repro.baselines.raw_encrypted import build_raw_encrypted
+from repro.core.client import Strategy
+from repro.core.cloud import SimilarityCloud
+from repro.crypto.cipher import AesCipher
+from repro.metric.distances import L1Distance
+
+from tests.conftest import brute_force_knn
+
+_N = 500
+
+
+@pytest.fixture(scope="module")
+def ladder():
+    rng = np.random.default_rng(13)
+    centers = rng.normal(0.0, 6.0, size=(6, 10))
+    data = centers[rng.integers(0, 6, size=_N)] + rng.normal(
+        0.0, 1.0, size=(_N, 10)
+    )
+    queries = centers[rng.integers(0, 6, size=10)] + rng.normal(
+        0.0, 1.0, size=(10, 10)
+    )
+    oids = range(_N)
+
+    # level 3 first: its key supplies the shared pivots
+    emi_cloud = SimilarityCloud.build(
+        data, distance=L1Distance(), n_pivots=8, bucket_capacity=40,
+        strategy=Strategy.APPROXIMATE, seed=3,
+    )
+    emi_cloud.owner.outsource(oids, data)
+    pivots = emi_cloud.owner.secret_key.pivots
+
+    _ps, plain = build_plain(pivots, L1Distance(), bucket_capacity=40)
+    plain.insert_many(oids, data)
+
+    cipher = AesCipher(bytes(range(16)))
+    _is, _rs, raw = build_raw_encrypted(
+        pivots, L1Distance(), 40, cipher
+    )
+    raw.outsource(
+        oids, data, [f"raw-{i}".encode() for i in range(_N)]
+    )
+
+    transformed_cloud = SimilarityCloud.build(
+        data, distance=L1Distance(), n_pivots=8, bucket_capacity=40,
+        strategy=Strategy.TRANSFORMED, seed=3,
+    )
+    transformed_cloud.owner.outsource(oids, data)
+
+    return data, queries, plain, raw, emi_cloud, transformed_cloud
+
+
+class TestLadderQuality:
+    def test_all_levels_answer_the_workload(self, ladder):
+        data, queries, plain, raw, emi_cloud, transformed_cloud = ladder
+        emi = emi_cloud.new_client()
+        transformed = transformed_cloud.new_client()
+        for q in queries[:4]:
+            truth = brute_force_knn(data, q, 10)
+            assert [
+                h.oid for h in plain.knn_search(q, 10, cand_size=_N)
+            ] == truth
+            assert [
+                r.oid for r in raw.knn_search(q, 10, cand_size=_N)
+            ] == truth
+            assert [
+                h.oid for h in emi.knn_search(q, 10, cand_size=_N)
+            ] == truth
+            assert [h.oid for h in transformed.knn_precise(q, 10)] == truth
+
+
+class TestLadderLeakage:
+    def _payload_plaintexts(self, storage, data):
+        """How many server payloads contain raw object bytes."""
+        hits = 0
+        needles = {data[i].tobytes() for i in range(0, _N, 50)}
+        for cell in storage.cells():
+            for record in storage.load(cell):
+                if any(needle in record.payload for needle in needles):
+                    hits += 1
+        return hits
+
+    def test_level3_and_4_expose_no_plaintext(self, ladder):
+        data, _q, _plain, _raw, emi_cloud, transformed_cloud = ladder
+        assert self._payload_plaintexts(emi_cloud.server.storage, data) == 0
+        assert (
+            self._payload_plaintexts(transformed_cloud.server.storage, data)
+            == 0
+        )
+
+    def test_level4_stores_transformed_not_true_distances(self, ladder):
+        data, *_rest, transformed_cloud = ladder
+        pivots = transformed_cloud.owner.secret_key.pivots
+        checked = 0
+        for cell in transformed_cloud.server.storage.cells():
+            for record in transformed_cloud.server.storage.load(cell):
+                assert record.distances is not None
+                true = np.abs(data[record.oid] - pivots).sum(axis=1)
+                assert not np.allclose(record.distances, true)
+                checked += 1
+                if checked >= 30:
+                    return
+        assert checked > 0
+
+
+class TestLadderCost:
+    def test_communication_grows_up_the_ladder(self, ladder):
+        data, queries, plain, raw, emi_cloud, _t = ladder
+        emi = emi_cloud.new_client()
+        q = queries[0]
+        plain.reset_accounting()
+        raw.reset_accounting()
+        emi.reset_accounting()
+        plain.knn_search(q, 10, cand_size=100)
+        raw.knn_search(q, 10, cand_size=100)
+        emi.knn_search(q, 10, cand_size=100)
+        plain_bytes = plain.report().communication_bytes
+        raw_bytes = raw.report().communication_bytes
+        emi_bytes = emi.report().communication_bytes
+        # level 2 adds the raw fetch; level 3 ships candidate sets
+        assert plain_bytes <= raw_bytes
+        assert raw_bytes < emi_bytes
+
+    def test_client_work_grows_up_the_ladder(self, ladder):
+        data, queries, plain, raw, emi_cloud, _t = ladder
+        emi = emi_cloud.new_client()
+        q = queries[0]
+        plain.reset_accounting()
+        emi.reset_accounting()
+        plain.knn_search(q, 10, cand_size=100)
+        emi.knn_search(q, 10, cand_size=100)
+        assert (
+            emi.report().decryption_time
+            > plain.report().decryption_time  # == 0.0
+        )

@@ -1,0 +1,113 @@
+"""The privacy contract: what the untrusted server actually holds.
+
+§4.3 of the paper enumerates the server's knowledge — encrypted object
+data plus pivot permutations (or object–pivot distances). These tests
+assert the contract *by inspecting the server state directly*: no
+plaintext bytes, no pivots, and nothing in the core server package that
+could compute a metric distance.
+"""
+
+import numpy as np
+
+from repro.core.client import Strategy
+from repro.core.cloud import SimilarityCloud
+from repro.metric.distances import L1Distance
+
+
+def _all_server_payloads(cloud):
+    for cell in cloud.server.storage.cells():
+        for record in cloud.server.storage.load(cell):
+            yield record
+
+
+class TestServerHoldsNoPlaintext:
+    def test_payloads_are_not_plaintext(self, approx_cloud, small_data):
+        """No stored payload may contain any object's raw bytes."""
+        plaintext_blobs = {
+            small_data[i].tobytes() for i in range(0, 200, 20)
+        }
+        for record in _all_server_payloads(approx_cloud):
+            for blob in plaintext_blobs:
+                assert blob not in record.payload
+
+    def test_payload_sizes_leak_only_length(self, approx_cloud):
+        """All tokens have the same size (vector dim + 32B overhead) —
+        the only metadata the ciphertext itself reveals."""
+        sizes = {r.payload_size for r in _all_server_payloads(approx_cloud)}
+        assert sizes == {12 * 8 + 32}
+
+    def test_approximate_strategy_stores_no_distances(self, approx_cloud):
+        for record in _all_server_payloads(approx_cloud):
+            assert record.distances is None
+            assert record.permutation is not None
+
+    def test_precise_strategy_stores_distances_not_vectors(
+        self, precise_cloud, small_data
+    ):
+        for record in _all_server_payloads(precise_cloud):
+            assert record.distances is not None
+            # distances are to 8 pivots; they are not the 12-dim object
+            assert record.distances.shape == (8,)
+
+    def test_server_never_receives_query_object(
+        self, approx_cloud, queries, monkeypatch
+    ):
+        """Capture every request byte stream and check the query vector
+        never crosses the wire."""
+        client = approx_cloud.new_client()
+        seen = []
+        original = approx_cloud.server.handle
+
+        def spy(request: bytes) -> bytes:
+            seen.append(request)
+            return original(request)
+
+        monkeypatch.setattr(client.rpc.channel, "_handler", spy)
+        q = queries[0]
+        client.knn_search(q, 5, cand_size=100)
+        q_bytes = np.ascontiguousarray(q, dtype="<f8").tobytes()
+        for request in seen:
+            assert q_bytes not in request
+
+
+class TestServerHoldsNoMetric:
+    def test_server_package_does_not_import_distances(self):
+        """The server module must not even import the metric machinery
+        for plaintext objects — the structural guarantee behind 'the
+        server cannot compute the similarity distance function'."""
+        import repro.core.server as server_module
+
+        source = open(server_module.__file__).read()
+        assert "metric.distances" not in source
+        assert "MetricSpace" not in source
+
+    def test_attacker_with_server_state_cannot_rank_by_true_distance(
+        self, approx_cloud, small_data, rng
+    ):
+        """Sanity: permutations alone do not reveal the true nearest
+        neighbour ordering for a *plaintext-unknown* query; this is a
+        smoke check that candidate ranks come from rank heuristics, not
+        true distances (which the server cannot have)."""
+        records = [r for r in _all_server_payloads(approx_cloud)]
+        assert all(r.distances is None for r in records)
+
+
+class TestKeyIsolation:
+    def test_unauthorized_key_cannot_decrypt(self, small_data, queries):
+        cloud_a = SimilarityCloud.build(
+            small_data, distance=L1Distance(), n_pivots=8,
+            bucket_capacity=40, strategy=Strategy.APPROXIMATE, seed=1,
+        )
+        cloud_a.owner.outsource(range(100), small_data[:100])
+        cloud_b = SimilarityCloud.build(
+            small_data, distance=L1Distance(), n_pivots=8,
+            bucket_capacity=40, strategy=Strategy.APPROXIMATE, seed=2,
+        )
+        # a client of cloud B (different secret key) pointed at cloud A
+        import pytest
+
+        from repro.exceptions import AuthenticationError
+
+        rogue = cloud_a.new_client(secret_key=cloud_b.owner.authorize())
+        with pytest.raises(AuthenticationError):
+            rogue.knn_search(queries[0], 3, cand_size=50)

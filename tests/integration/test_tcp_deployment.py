@@ -1,0 +1,65 @@
+"""Real loopback-TCP deployment, as in the paper's experimental setup
+("both encryption client and M-Index server were running on the same
+machine communicating via loopback interface")."""
+
+import numpy as np
+import pytest
+
+from repro.core.client import Strategy
+from repro.core.cloud import SimilarityCloud
+from repro.metric.distances import L1Distance
+
+from tests.conftest import brute_force_knn
+
+
+@pytest.fixture(scope="module")
+def tcp_cloud():
+    rng = np.random.default_rng(77)
+    data = rng.normal(size=(500, 10)) * 2
+    cloud = SimilarityCloud.build(
+        data,
+        distance=L1Distance(),
+        n_pivots=8,
+        bucket_capacity=40,
+        strategy=Strategy.PRECISE,
+        seed=13,
+        use_tcp=True,
+    )
+    cloud.owner.outsource(range(500), data)
+    yield cloud, data
+    cloud.close()
+
+
+class TestTcpDeployment:
+    def test_construction_over_tcp(self, tcp_cloud):
+        cloud, data = tcp_cloud
+        assert len(cloud.server.index) == 500
+
+    def test_precise_knn_over_tcp(self, tcp_cloud):
+        cloud, data = tcp_cloud
+        client = cloud.new_client()
+        q = np.random.default_rng(5).normal(size=10) * 2
+        hits = client.knn_precise(q, 10)
+        assert [h.oid for h in hits] == brute_force_knn(data, q, 10)
+
+    def test_cost_report_over_tcp(self, tcp_cloud):
+        cloud, data = tcp_cloud
+        client = cloud.new_client()
+        q = np.random.default_rng(6).normal(size=10) * 2
+        client.knn_search(q, 5, cand_size=100)
+        report = client.report()
+        assert report.communication_bytes > 0
+        assert report.communication_time >= 0.0
+        assert report.server_time > 0.0
+        # components must not exceed the total round-trip wall time by
+        # construction (server time subtracted from round trips)
+        assert report.overall_time > 0.0
+
+    def test_multiple_clients_share_server(self, tcp_cloud):
+        cloud, data = tcp_cloud
+        a = cloud.new_client()
+        b = cloud.new_client()
+        q = np.random.default_rng(8).normal(size=10) * 2
+        hits_a = a.knn_search(q, 5, cand_size=80)
+        hits_b = b.knn_search(q, 5, cand_size=80)
+        assert [h.oid for h in hits_a] == [h.oid for h in hits_b]

@@ -1,0 +1,146 @@
+"""The TRANSFORMED strategy: the paper's §6 future work, implemented.
+
+The precise strategy's leak is the stored object–pivot distances
+(§4.3); the paper proposes hiding them with distance transformations
+while keeping server-side filtering. These tests pin the three
+properties that make the extension correct and worthwhile:
+
+* exactness — range and k-NN results equal the PRECISE strategy's,
+* privacy — the distance-distribution attack collapses,
+* the permutations derived from transformed values are unchanged
+  (monotone transforms preserve sort order), so approximate search is
+  byte-identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.client import Strategy
+from repro.core.cloud import SimilarityCloud
+from repro.metric.distances import L1Distance
+from repro.privacy.analysis import distribution_distance
+from repro.privacy.attacks import DistanceDistributionAttack
+
+from tests.conftest import brute_force_knn
+
+
+@pytest.fixture
+def transformed_cloud(small_data):
+    cloud = SimilarityCloud.build(
+        small_data,
+        distance=L1Distance(),
+        n_pivots=8,
+        bucket_capacity=40,
+        strategy=Strategy.TRANSFORMED,
+        seed=7,
+    )
+    cloud.owner.outsource(range(len(small_data)), small_data)
+    return cloud
+
+
+class TestExactness:
+    def test_range_search_exact(self, transformed_cloud, small_data, queries):
+        client = transformed_cloud.new_client()
+        for q in queries[:4]:
+            dists = np.abs(small_data - q).sum(axis=1)
+            for percentile in (2, 20, 60):
+                radius = float(np.percentile(dists, percentile))
+                hits = client.range_search(q, radius)
+                assert {h.oid for h in hits} == set(
+                    np.nonzero(dists <= radius)[0]
+                )
+
+    def test_knn_precise_exact(self, transformed_cloud, small_data, queries):
+        client = transformed_cloud.new_client()
+        for q in queries[:4]:
+            hits = client.knn_precise(q, 8)
+            assert [h.oid for h in hits] == brute_force_knn(small_data, q, 8)
+
+    def test_approx_knn_matches_precise_strategy(
+        self, transformed_cloud, precise_cloud, queries
+    ):
+        """Monotone transforms preserve permutations, so the
+        approximate path returns identical candidates."""
+        t_client = transformed_cloud.new_client()
+        p_client = precise_cloud.new_client()
+        for q in queries[:3]:
+            t_hits = t_client.knn_search(q, 10, cand_size=120)
+            p_hits = p_client.knn_search(q, 10, cand_size=120)
+            assert [h.oid for h in t_hits] == [h.oid for h in p_hits]
+
+
+class TestPrivacy:
+    def _server_records(self, cloud):
+        records = []
+        for cell in cloud.server.storage.cells():
+            records.extend(cloud.server.storage.load(cell))
+        return records
+
+    def test_true_distances_not_stored(self, transformed_cloud, small_data):
+        pivots = transformed_cloud.owner.secret_key.pivots
+        for record in self._server_records(transformed_cloud)[:30]:
+            true = np.abs(small_data[record.oid] - pivots).sum(axis=1)
+            assert not np.allclose(record.distances, true)
+
+    def test_distribution_attack_degrades(
+        self, transformed_cloud, precise_cloud, small_data, rng
+    ):
+        """The attacker's reconstructed distribution must be much
+        farther from the truth on the transformed index than on the
+        precise one."""
+        idx = rng.choice(len(small_data), 200, replace=False)
+        true_sample = np.array(
+            [
+                float(np.abs(small_data[i] - small_data[j]).sum())
+                for i, j in zip(idx[:100], idx[100:])
+            ]
+        )
+        precise_view = self._server_records(precise_cloud)
+        transformed_view = self._server_records(transformed_cloud)
+        precise_leak = DistanceDistributionAttack(
+            precise_view
+        ).leakage_score(true_sample)
+        transformed_leak = DistanceDistributionAttack(
+            transformed_view
+        ).leakage_score(true_sample)
+        assert transformed_leak < precise_leak - 0.2
+
+    def test_transformed_values_preserve_order_only(
+        self, transformed_cloud, small_data
+    ):
+        pivots = transformed_cloud.owner.secret_key.pivots
+        record = self._server_records(transformed_cloud)[0]
+        true = np.abs(small_data[record.oid] - pivots).sum(axis=1)
+        np.testing.assert_array_equal(
+            np.argsort(record.distances, kind="stable"),
+            np.argsort(true, kind="stable"),
+        )
+
+
+class TestKeyDerivation:
+    def test_ope_deterministic_across_clients(self, transformed_cloud):
+        """Two clients derived from the same secret key must agree on
+        the transformation (or their queries would miss everything)."""
+        a = transformed_cloud.new_client()
+        b = transformed_cloud.new_client()
+        values = np.linspace(0.0, 50.0, 20)
+        np.testing.assert_allclose(
+            np.asarray(a.ope.encrypt(values)),
+            np.asarray(b.ope.encrypt(values)),
+        )
+
+    def test_different_keys_different_transform(self, small_data):
+        clouds = [
+            SimilarityCloud.build(
+                small_data, distance=L1Distance(), n_pivots=8,
+                bucket_capacity=40, strategy=Strategy.TRANSFORMED, seed=s,
+            )
+            for s in (1, 2)
+        ]
+        a = clouds[0].new_client()
+        b = clouds[1].new_client()
+        values = np.linspace(1.0, 50.0, 20)
+        assert not np.allclose(
+            np.asarray(a.ope.encrypt(values)),
+            np.asarray(b.ope.encrypt(values)),
+        )

@@ -1,0 +1,89 @@
+"""Property-based tests for the M-Index core invariants.
+
+The load-bearing invariant of the whole system: for any data, any
+query and any radius, the server-side candidate set of a range query
+contains every true answer (pruning may only discard objects proven
+too far by the triangle inequality).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import IndexedRecord
+from repro.metric.distances import L1Distance
+from repro.metric.permutations import pivot_permutation
+from repro.mindex.index import MIndex
+from repro.storage.memory import MemoryStorage
+
+
+def _build(seed, n_records, n_pivots, bucket_capacity):
+    rng = np.random.default_rng(seed)
+    d = L1Distance()
+    data = rng.normal(scale=3.0, size=(n_records, 4))
+    pivots = data[rng.choice(n_records, n_pivots, replace=False)]
+    index = MIndex(n_pivots, bucket_capacity, MemoryStorage(), max_level=3)
+    for oid, vector in enumerate(data):
+        dists = d.batch(vector, pivots)
+        index.insert(
+            IndexedRecord(oid, pivot_permutation(dists), dists, b"x")
+        )
+    return index, data, pivots, d, rng
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    n_records=st.integers(min_value=10, max_value=150),
+    n_pivots=st.integers(min_value=2, max_value=8),
+    bucket_capacity=st.integers(min_value=2, max_value=40),
+    radius_percentile=st.floats(min_value=1.0, max_value=60.0),
+)
+def test_range_candidates_are_superset_of_answers(
+    seed, n_records, n_pivots, bucket_capacity, radius_percentile
+):
+    index, data, pivots, d, rng = _build(
+        seed, n_records, n_pivots, bucket_capacity
+    )
+    q = rng.normal(scale=3.0, size=4)
+    q_dists = d.batch(q, pivots)
+    true_dists = d.batch(q, data)
+    radius = float(np.percentile(true_dists, radius_percentile))
+    candidates = {r.oid for r in index.range_search(q_dists, radius)}
+    answers = set(np.nonzero(true_dists <= radius)[0])
+    assert answers <= candidates
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    n_records=st.integers(min_value=10, max_value=120),
+    bucket_capacity=st.integers(min_value=2, max_value=30),
+    cand_size=st.integers(min_value=1, max_value=200),
+)
+def test_approx_candidate_count_is_min_of_request_and_collection(
+    seed, n_records, bucket_capacity, cand_size
+):
+    index, data, pivots, d, rng = _build(seed, n_records, 5, bucket_capacity)
+    q = rng.normal(scale=3.0, size=4)
+    perm = pivot_permutation(d.batch(q, pivots))
+    candidates = index.approx_knn_candidates(perm, cand_size)
+    assert len(candidates) == min(cand_size, n_records)
+    # no duplicates
+    oids = [r.oid for r in candidates]
+    assert len(set(oids)) == len(oids)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    bucket_capacity=st.integers(min_value=2, max_value=25),
+)
+def test_every_record_remains_reachable_after_splits(seed, bucket_capacity):
+    """Insertion with arbitrary split cascades must never lose records:
+    an infinite-radius range query returns the whole collection."""
+    index, data, pivots, d, rng = _build(seed, 100, 6, bucket_capacity)
+    q = rng.normal(scale=3.0, size=4)
+    q_dists = d.batch(q, pivots)
+    everything = index.range_search(q_dists, float("inf"))
+    assert sorted(r.oid for r in everything) == list(range(100))

@@ -1,0 +1,48 @@
+"""Property-based tests for order-preserving encryption."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ope import OrderPreservingEncryption
+
+values = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+
+
+def _fitted(key: bytes) -> OrderPreservingEncryption:
+    return OrderPreservingEncryption(key or b"\x00").fit(
+        np.linspace(0.0, 1e3, 100)
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(key=st.binary(min_size=1, max_size=32), a=values, b=values)
+def test_order_preserved_for_any_pair(key, a, b):
+    ope = _fitted(key)
+    ea, eb = ope.encrypt(a), ope.encrypt(b)
+    if a < b:
+        assert ea < eb
+    elif a > b:
+        assert ea > eb
+    else:
+        assert ea == eb
+
+
+@settings(max_examples=40, deadline=None)
+@given(key=st.binary(min_size=1, max_size=32), value=values)
+def test_interval_membership_preserved(key, value):
+    """The property the MPT server filter relies on: x in [lo, hi]
+    iff E(x) in [E(lo), E(hi)]."""
+    ope = _fitted(key)
+    lo, hi = value * 0.5, value * 1.5 + 1.0
+    inside = lo <= value <= hi
+    e_inside = ope.encrypt(lo) <= ope.encrypt(value) <= ope.encrypt(hi)
+    assert inside == e_inside
+
+
+@settings(max_examples=40, deadline=None)
+@given(key=st.binary(min_size=1, max_size=32), value=values)
+def test_decrypt_inverts_encrypt(key, value):
+    ope = _fitted(key)
+    recovered = ope.decrypt(ope.encrypt(value))
+    assert abs(recovered - value) <= max(1e-6, 1e-6 * value) + 1e-2

@@ -1,0 +1,105 @@
+"""Property-based tests for the storage backends and the channel
+cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import IndexedRecord
+from repro.net.channel import InProcessChannel
+from repro.net.clock import SimulatedClock
+from repro.storage.disk import DiskStorage
+from repro.storage.memory import MemoryStorage
+
+
+def _record(spec) -> IndexedRecord:
+    oid, n_pivots, payload, seed = spec
+    rng = np.random.default_rng(seed)
+    return IndexedRecord(
+        oid,
+        rng.permutation(n_pivots).astype(np.int32),
+        rng.random(n_pivots),
+        payload,
+    )
+
+
+record_specs = st.tuples(
+    st.integers(min_value=0, max_value=2**32),
+    st.integers(min_value=1, max_value=12),
+    st.binary(max_size=80),
+    st.integers(min_value=0, max_value=2**16),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    cells=st.dictionaries(
+        st.tuples(st.integers(min_value=0, max_value=9)),
+        st.lists(record_specs, max_size=8),
+        max_size=5,
+    )
+)
+def test_memory_and_disk_agree(cells, tmp_path_factory):
+    """Both backends must return identical state for identical writes."""
+    memory = MemoryStorage()
+    disk = DiskStorage(tmp_path_factory.mktemp("prop-cells"))
+    for cell_id, specs in cells.items():
+        records = [_record(spec) for spec in specs]
+        memory.save(cell_id, records)
+        disk.save(cell_id, records)
+    assert sorted(memory.cells()) == sorted(disk.cells())
+    assert len(memory) == len(disk)
+    for cell_id in cells:
+        mem_records = memory.load(cell_id)
+        disk_records = disk.load(cell_id)
+        assert [r.oid for r in mem_records] == [r.oid for r in disk_records]
+        for a, b in zip(mem_records, disk_records):
+            assert a.payload == b.payload
+            np.testing.assert_array_equal(a.permutation, b.permutation)
+            np.testing.assert_array_equal(a.distances, b.distances)
+        assert memory.cell_size(cell_id) == disk.cell_size(cell_id)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    latency=st.floats(min_value=0.0, max_value=1.0),
+    bandwidth=st.floats(min_value=1.0, max_value=1e9),
+    request_size=st.integers(min_value=0, max_value=10_000),
+    response_size=st.integers(min_value=0, max_value=10_000),
+)
+def test_channel_cost_model_exact(
+    latency, bandwidth, request_size, response_size
+):
+    """Communication time is exactly 2*latency + bytes/bandwidth."""
+    clock = SimulatedClock()
+    channel = InProcessChannel(
+        lambda data: b"r" * response_size,
+        latency=latency,
+        bandwidth=bandwidth,
+        clock=clock,
+    )
+    channel.request(b"q" * request_size)
+    expected = 2 * latency + (request_size + response_size) / bandwidth
+    assert channel.communication_time == pytest.approx(expected, rel=1e-9)
+    assert channel.bytes_total == request_size + response_size
+    assert clock.now() == pytest.approx(expected, rel=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sizes=st.lists(
+        st.integers(min_value=0, max_value=5_000), min_size=1, max_size=10
+    )
+)
+def test_channel_accounting_additive(sizes):
+    """Byte and time accounting accumulate linearly over requests."""
+    channel = InProcessChannel(
+        lambda data: data, latency=1e-3, bandwidth=1e6
+    )
+    for size in sizes:
+        channel.request(b"x" * size)
+    assert channel.requests == len(sizes)
+    assert channel.bytes_total == 2 * sum(sizes)
+    expected_time = len(sizes) * 2e-3 + 2 * sum(sizes) / 1e6
+    assert channel.communication_time == pytest.approx(expected_time)

@@ -1,0 +1,72 @@
+"""Property-based tests for the TRANSFORMED strategy's core invariant.
+
+For any data, key, query and radius: the transformed-interval range
+search must return a superset of the true range answer (monotone
+transforms preserve interval membership), and the candidate set must
+equal the plain pivot-filter survivors.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import IndexedRecord
+from repro.crypto.ope import OrderPreservingEncryption
+from repro.metric.distances import L1Distance
+from repro.metric.permutations import pivot_permutation
+from repro.mindex.index import MIndex
+from repro.storage.memory import MemoryStorage
+
+
+def _build(seed, n_records, bucket_capacity, ope_key):
+    rng = np.random.default_rng(seed)
+    d = L1Distance()
+    data = rng.normal(scale=3.0, size=(n_records, 4))
+    pivots = data[rng.choice(n_records, 5, replace=False)]
+    ope = OrderPreservingEncryption(ope_key or b"\x00")
+    pairwise = np.stack([d.batch(p, pivots) for p in pivots])
+    ope.fit(pairwise, margin=1.0)
+    plain = MIndex(5, bucket_capacity, MemoryStorage(), max_level=3)
+    transformed = MIndex(5, bucket_capacity, MemoryStorage(), max_level=3)
+    for oid, vector in enumerate(data):
+        dists = d.batch(vector, pivots)
+        perm = pivot_permutation(dists)
+        plain.insert(IndexedRecord(oid, perm, dists, b"x"))
+        transformed.insert(
+            IndexedRecord(oid, perm, np.asarray(ope.encrypt(dists)), b"x")
+        )
+    return plain, transformed, data, pivots, d, ope, rng
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    n_records=st.integers(min_value=10, max_value=120),
+    bucket_capacity=st.integers(min_value=2, max_value=30),
+    radius_percentile=st.floats(min_value=1.0, max_value=60.0),
+    ope_key=st.binary(min_size=1, max_size=16),
+)
+def test_transformed_range_superset_and_parity(
+    seed, n_records, bucket_capacity, radius_percentile, ope_key
+):
+    plain, transformed, data, pivots, d, ope, rng = _build(
+        seed, n_records, bucket_capacity, ope_key
+    )
+    q = rng.normal(scale=3.0, size=4)
+    q_dists = d.batch(q, pivots)
+    true_dists = d.batch(q, data)
+    radius = float(np.percentile(true_dists, radius_percentile))
+
+    lows = np.asarray(ope.encrypt(np.maximum(q_dists - radius, 0.0)))
+    highs = np.asarray(ope.encrypt(q_dists + radius))
+    transformed_ids = {
+        r.oid for r in transformed.range_search_transformed(lows, highs)
+    }
+
+    answers = set(np.nonzero(true_dists <= radius)[0])
+    assert answers <= transformed_ids
+
+    # parity: interval filtering in transformed space keeps exactly the
+    # plain pivot-filter survivors
+    plain_ids = {r.oid for r in plain.range_search(q_dists, radius)}
+    assert plain_ids <= transformed_ids

@@ -1,0 +1,127 @@
+"""Property-based tests for the wire format and records."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.records import CandidateEntry, IndexedRecord
+from repro.exceptions import ProtocolError
+from repro.wire.encoding import Reader, Writer
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    u8=st.integers(min_value=0, max_value=255),
+    u32=st.integers(min_value=0, max_value=2**32 - 1),
+    u64=st.integers(min_value=0, max_value=2**64 - 1),
+    f64=finite_floats,
+    flag=st.booleans(),
+    blob=st.binary(max_size=200),
+    text=st.text(max_size=50),
+)
+def test_scalar_roundtrip(u8, u32, u64, f64, flag, blob, text):
+    data = (
+        Writer()
+        .u8(u8)
+        .u32(u32)
+        .u64(u64)
+        .f64(f64)
+        .boolean(flag)
+        .blob(blob)
+        .string(text)
+        .getvalue()
+    )
+    reader = Reader(data)
+    assert reader.u8() == u8
+    assert reader.u32() == u32
+    assert reader.u64() == u64
+    assert reader.f64() == f64
+    assert reader.boolean() == flag
+    assert reader.blob() == blob
+    assert reader.string() == text
+    reader.expect_end()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    f64s=arrays(
+        np.float64,
+        st.integers(min_value=0, max_value=40),
+        elements=finite_floats,
+    ),
+    i32s=arrays(
+        np.int32,
+        st.integers(min_value=0, max_value=40),
+        elements=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    ),
+)
+def test_array_roundtrip(f64s, i32s):
+    data = Writer().f64_array(f64s).i32_array(i32s).getvalue()
+    reader = Reader(data)
+    np.testing.assert_array_equal(reader.f64_array(), f64s)
+    np.testing.assert_array_equal(reader.i32_array(), i32s)
+    reader.expect_end()
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.binary(max_size=60))
+def test_truncation_never_crashes_reader(data):
+    """Any byte soup must either parse or raise ProtocolError — never
+    crash with an arbitrary exception."""
+    reader = Reader(data)
+    try:
+        reader.string()
+        reader.f64_array()
+        reader.blob()
+    except ProtocolError:
+        pass
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    oid=st.integers(min_value=0, max_value=2**64 - 1),
+    n_pivots=st.integers(min_value=1, max_value=20),
+    has_perm=st.booleans(),
+    has_dists=st.booleans(),
+    payload=st.binary(max_size=120),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_record_roundtrip(oid, n_pivots, has_perm, has_dists, payload, seed):
+    rng = np.random.default_rng(seed)
+    permutation = (
+        rng.permutation(n_pivots).astype(np.int32) if has_perm else None
+    )
+    distances = rng.random(n_pivots) if has_dists else None
+    if not has_perm and not has_dists:
+        with pytest.raises(ProtocolError):
+            IndexedRecord(oid, None, None, payload)
+        return
+    record = IndexedRecord(oid, permutation, distances, payload)
+    restored = IndexedRecord.from_bytes(record.to_bytes())
+    assert restored.oid == oid
+    assert restored.payload == payload
+    assert record.wire_size == len(record.to_bytes())
+    if has_perm:
+        np.testing.assert_array_equal(restored.permutation, permutation)
+    if has_dists:
+        np.testing.assert_array_equal(restored.distances, distances)
+    # derived permutation is consistent either way
+    derived = restored.ensure_permutation()
+    assert sorted(derived.tolist()) == list(range(n_pivots))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    oid=st.integers(min_value=0, max_value=2**64 - 1),
+    payload=st.binary(max_size=200),
+)
+def test_candidate_entry_roundtrip(oid, payload):
+    writer = Writer()
+    CandidateEntry(oid, payload).write_to(writer)
+    restored = CandidateEntry.read_from(Reader(writer.getvalue()))
+    assert restored.oid == oid
+    assert restored.payload == payload

@@ -1,0 +1,97 @@
+"""Unit tests for repro.baselines.ehi."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ehi import build_ehi
+from repro.crypto.cipher import AesCipher
+from repro.exceptions import ProtocolError, QueryError
+from repro.metric.distances import L1Distance
+from repro.metric.space import MetricSpace
+from repro.wire.encoding import Writer
+
+from tests.conftest import brute_force_knn
+
+
+@pytest.fixture
+def ehi_pair(small_data):
+    cipher = AesCipher(bytes(range(16)))
+    space = MetricSpace(L1Distance(), 12)
+    server, client = build_ehi(cipher, space, leaf_capacity=20, fanout=5)
+    client.outsource(
+        range(len(small_data)), small_data, rng=np.random.default_rng(3)
+    )
+    return server, client
+
+
+class TestConstruction:
+    def test_nodes_uploaded(self, ehi_pair):
+        server, _client = ehi_pair
+        assert len(server) > 1  # root plus children
+
+    def test_nodes_are_encrypted(self, ehi_pair, small_data):
+        """No plaintext vector bytes may appear in any stored node."""
+        server, _client = ehi_pair
+        needle = small_data[0].tobytes()
+        for blob in server._nodes.values():
+            assert needle not in blob
+
+
+class TestSearch:
+    def test_knn_is_exact(self, ehi_pair, small_data, queries):
+        _server, client = ehi_pair
+        for q in queries[:4]:
+            hits = client.knn_search(q, 10)
+            assert [h.oid for h in hits] == brute_force_knn(small_data, q, 10)
+
+    def test_range_is_exact(self, ehi_pair, small_data, queries):
+        _server, client = ehi_pair
+        q = queries[1]
+        dists = np.abs(small_data - q).sum(axis=1)
+        radius = float(np.sort(dists)[15])
+        hits = client.range_search(q, radius)
+        assert {h.oid for h in hits} == set(np.nonzero(dists <= radius)[0])
+
+    def test_branch_and_bound_prunes(self, ehi_pair, queries):
+        """A 1-NN search must not fetch every node."""
+        server, client = ehi_pair
+        client.reset_accounting()
+        client.knn_search(queries[0], 1)
+        assert client.rpc.channel.requests < len(server)
+
+    def test_many_round_trips_per_query(self, ehi_pair, queries):
+        """EHI's signature drawback: one round trip per visited node."""
+        _server, client = ehi_pair
+        client.reset_accounting()
+        client.knn_search(queries[0], 10)
+        assert client.report().extras["round_trips"] > 3
+
+    def test_decryption_happens_on_client(self, ehi_pair, queries):
+        _server, client = ehi_pair
+        client.reset_accounting()
+        client.knn_search(queries[0], 5)
+        assert client.report().decryption_time > 0.0
+
+    def test_invalid_parameters(self, ehi_pair, queries):
+        _server, client = ehi_pair
+        with pytest.raises(QueryError):
+            client.knn_search(queries[0], 0)
+        with pytest.raises(QueryError):
+            client.range_search(queries[0], -1.0)
+
+    def test_missing_node_is_protocol_error(self, ehi_pair):
+        _server, client = ehi_pair
+        with pytest.raises(ProtocolError):
+            client.rpc.call("get_node", Writer().u32(999_999))
+
+
+class TestDegenerateData:
+    def test_identical_points_build_oversized_leaf(self):
+        cipher = AesCipher(bytes(16))
+        space = MetricSpace(L1Distance(), 3)
+        server, client = build_ehi(cipher, space, leaf_capacity=5, fanout=3)
+        data = np.ones((40, 3))
+        client.outsource(range(40), data, rng=np.random.default_rng(0))
+        hits = client.knn_search(np.ones(3), 5)
+        assert len(hits) == 5
+        assert all(h.distance == 0.0 for h in hits)

@@ -1,0 +1,109 @@
+"""Unit tests for repro.baselines.fdh."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fdh import build_fdh, select_anchors
+from repro.crypto.cipher import AesCipher
+from repro.exceptions import QueryError
+from repro.metric.distances import L1Distance
+from repro.metric.space import MetricSpace
+
+from tests.conftest import brute_force_knn
+
+
+@pytest.fixture
+def fdh_pair(small_data, rng):
+    cipher = AesCipher(bytes(range(16)))
+    space = MetricSpace(L1Distance(), 12)
+    anchors, radii = select_anchors(
+        small_data, 12, space, rng=np.random.default_rng(2)
+    )
+    server, client = build_fdh(anchors, radii, cipher, space)
+    client.outsource(range(len(small_data)), small_data)
+    return server, client
+
+
+class TestAnchors:
+    def test_select_anchors_shapes(self, small_data, rng):
+        space = MetricSpace(L1Distance(), 12)
+        anchors, radii = select_anchors(small_data, 10, space, rng=rng)
+        assert anchors.shape == (10, 12)
+        assert radii.shape == (10,)
+        assert np.all(radii > 0)
+
+    def test_median_radius_balances_bits(self, small_data, rng):
+        space = MetricSpace(L1Distance(), 12)
+        anchors, radii = select_anchors(small_data, 5, space, rng=rng)
+        inside = space.d_batch(anchors[0], small_data) <= radii[0]
+        share = inside.mean()
+        assert 0.2 < share < 0.8
+
+    def test_invalid_counts_rejected(self, small_data, rng):
+        space = MetricSpace(L1Distance(), 12)
+        with pytest.raises(QueryError):
+            select_anchors(small_data, 0, space, rng=rng)
+        with pytest.raises(QueryError):
+            select_anchors(small_data[:5], 6, space, rng=rng)
+
+    def test_more_than_64_anchors_rejected(self, small_data, rng):
+        cipher = AesCipher(bytes(16))
+        space = MetricSpace(L1Distance(), 12)
+        with pytest.raises(QueryError):
+            build_fdh(
+                np.zeros((65, 12)), np.ones(65), cipher, space
+            )
+
+
+class TestFdh:
+    def test_all_objects_stored(self, fdh_pair, small_data):
+        server, _client = fdh_pair
+        assert len(server) == len(small_data)
+
+    def test_hashing_creates_multiple_buckets(self, fdh_pair):
+        server, _client = fdh_pair
+        assert len(server._buckets) > 4
+
+    def test_knn_recall_reasonable(self, fdh_pair, small_data, rng):
+        """FDH is approximate; for in-distribution queries with a
+        quarter of the collection as candidates it should find a good
+        share of the true neighbours."""
+        _server, client = fdh_pair
+        in_dist_queries = (
+            small_data[rng.choice(len(small_data), 8, replace=False)]
+            + rng.normal(0.0, 0.05, size=(8, 12))
+        )
+        hits_found = 0
+        for q in in_dist_queries:
+            truth = set(brute_force_knn(small_data, q, 5))
+            hits = client.knn_search(q, 5, cand_size=150)
+            hits_found += len({h.oid for h in hits} & truth)
+        assert hits_found >= 8 * 5 * 0.5
+
+    def test_full_cand_size_is_exact(self, fdh_pair, small_data, queries):
+        _server, client = fdh_pair
+        q = queries[0]
+        hits = client.knn_search(q, 10, cand_size=len(small_data))
+        assert [h.oid for h in hits] == brute_force_knn(small_data, q, 10)
+
+    def test_candidate_cap_respected(self, fdh_pair, queries):
+        _server, client = fdh_pair
+        client.reset_accounting()
+        client.knn_search(queries[0], 5, cand_size=50)
+        assert client.costs.count  # accounting exists
+        report = client.report()
+        token_bytes = 12 * 8 + 32
+        assert report.communication_bytes <= 60 * (token_bytes + 50)
+
+    def test_invalid_parameters(self, fdh_pair, queries):
+        _server, client = fdh_pair
+        with pytest.raises(QueryError):
+            client.knn_search(queries[0], 0, cand_size=10)
+        with pytest.raises(QueryError):
+            client.knn_search(queries[0], 10, cand_size=5)
+
+    def test_mismatched_radii_rejected(self, small_data):
+        cipher = AesCipher(bytes(16))
+        space = MetricSpace(L1Distance(), 12)
+        with pytest.raises(QueryError):
+            build_fdh(np.zeros((4, 12)), np.ones(3), cipher, space)

@@ -1,0 +1,102 @@
+"""Unit tests for repro.baselines.mpt."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mpt import build_mpt
+from repro.crypto.cipher import AesCipher
+from repro.exceptions import QueryError
+from repro.metric.distances import L1Distance
+from repro.metric.space import MetricSpace
+
+from tests.conftest import brute_force_knn
+
+
+@pytest.fixture
+def mpt_pair(small_data, rng):
+    cipher = AesCipher(bytes(range(16)))
+    space = MetricSpace(L1Distance(), 12)
+    references = small_data[rng.choice(len(small_data), 6, replace=False)]
+    server, client = build_mpt(references, cipher, space)
+    client.outsource(
+        range(len(small_data)), small_data, rng=np.random.default_rng(1)
+    )
+    return server, client
+
+
+class TestConstruction:
+    def test_all_rows_stored(self, mpt_pair, small_data):
+        server, _client = mpt_pair
+        assert len(server) == len(small_data)
+
+    def test_stored_distances_are_transformed(self, mpt_pair, small_data):
+        """The server must never see a true reference distance."""
+        server, client = mpt_pair
+        space = MetricSpace(L1Distance(), 12)
+        true_rows = np.stack(
+            [
+                space.d_batch(vector, client.references)
+                for vector in small_data[:20]
+            ]
+        )
+        stored_rows = np.stack(server._rows[:20])
+        assert not np.allclose(stored_rows, true_rows)
+
+    def test_order_preserved_in_storage(self, mpt_pair, small_data):
+        """Transformed values must sort identically to true values."""
+        server, client = mpt_pair
+        space = MetricSpace(L1Distance(), 12)
+        true_first = np.array(
+            [
+                space.d(vector, client.references[0])
+                for vector in small_data[:50]
+            ]
+        )
+        stored_first = np.array([row[0] for row in server._rows[:50]])
+        np.testing.assert_array_equal(
+            np.argsort(true_first, kind="stable"),
+            np.argsort(stored_first, kind="stable"),
+        )
+
+
+class TestSearch:
+    def test_range_is_exact(self, mpt_pair, small_data, queries):
+        _server, client = mpt_pair
+        for q in queries[:3]:
+            dists = np.abs(small_data - q).sum(axis=1)
+            radius = float(np.sort(dists)[12])
+            hits = client.range_search(q, radius)
+            assert {h.oid for h in hits} == set(
+                np.nonzero(dists <= radius)[0]
+            )
+
+    def test_knn_is_exact(self, mpt_pair, small_data, queries):
+        _server, client = mpt_pair
+        for q in queries[:3]:
+            hits = client.knn_search(q, 8)
+            assert [h.oid for h in hits] == brute_force_knn(small_data, q, 8)
+
+    def test_knn_uses_multiple_rounds(self, mpt_pair, queries):
+        _server, client = mpt_pair
+        client.reset_accounting()
+        client.knn_search(queries[0], 10)
+        assert client.report().extras["round_trips"] >= 1
+
+    def test_filter_reduces_candidates(self, mpt_pair, small_data, queries):
+        """For small radii the server must not return everything."""
+        _server, client = mpt_pair
+        q = queries[0]
+        dists = np.abs(small_data - q).sum(axis=1)
+        radius = float(np.sort(dists)[5])
+        client.reset_accounting()
+        client.range_search(q, radius)
+        received = client.report().communication_bytes
+        token_bytes = (12 * 8 + 32) * len(small_data)
+        assert received < token_bytes  # strictly less than a full download
+
+    def test_invalid_parameters(self, mpt_pair, queries):
+        _server, client = mpt_pair
+        with pytest.raises(QueryError):
+            client.knn_search(queries[0], 0)
+        with pytest.raises(QueryError):
+            client.range_search(queries[0], -1.0)

@@ -1,0 +1,72 @@
+"""Unit tests for repro.baselines.trivial."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.trivial import build_trivial
+from repro.crypto.keys import SecretKey
+from repro.exceptions import QueryError
+from repro.metric.distances import L1Distance
+from repro.metric.space import MetricSpace
+
+from tests.conftest import brute_force_knn
+
+
+@pytest.fixture
+def trivial_pair(small_data, rng):
+    key = SecretKey.generate(small_data, 2, rng=np.random.default_rng(0))
+    space = MetricSpace(L1Distance(), 12)
+    server, client = build_trivial(key, space)
+    client.insert_many(range(len(small_data)), small_data)
+    return server, client
+
+
+class TestTrivial:
+    def test_all_blobs_stored(self, trivial_pair, small_data):
+        server, _client = trivial_pair
+        assert len(server) == len(small_data)
+
+    def test_knn_is_exact(self, trivial_pair, small_data, queries):
+        _server, client = trivial_pair
+        for q in queries[:3]:
+            hits = client.knn_search(q, 10)
+            assert [h.oid for h in hits] == brute_force_knn(small_data, q, 10)
+
+    def test_range_is_exact(self, trivial_pair, small_data, queries):
+        _server, client = trivial_pair
+        q = queries[0]
+        dists = np.abs(small_data - q).sum(axis=1)
+        radius = float(np.sort(dists)[25])
+        hits = client.range_search(q, radius)
+        assert {h.oid for h in hits} == set(np.nonzero(dists <= radius)[0])
+
+    def test_every_query_downloads_everything(
+        self, trivial_pair, small_data, queries
+    ):
+        _server, client = trivial_pair
+        client.reset_accounting()
+        client.knn_search(queries[0], 1)
+        report = client.report()
+        # must at least carry one token per stored object
+        token_size = 12 * 8 + 32
+        assert report.communication_bytes >= len(small_data) * token_size
+
+    def test_all_decryption_on_client(self, trivial_pair, queries):
+        _server, client = trivial_pair
+        client.reset_accounting()
+        client.knn_search(queries[0], 5)
+        report = client.report()
+        assert report.decryption_time > 0.0
+        assert report.distance_time > 0.0
+
+    def test_invalid_parameters(self, trivial_pair, queries):
+        _server, client = trivial_pair
+        with pytest.raises(QueryError):
+            client.knn_search(queries[0], 0)
+        with pytest.raises(QueryError):
+            client.range_search(queries[0], -1.0)
+
+    def test_insert_mismatch_rejected(self, trivial_pair, small_data):
+        _server, client = trivial_pair
+        with pytest.raises(QueryError):
+            client.insert_many([1], small_data[:2])

@@ -1,0 +1,127 @@
+"""Unit tests for repro.net.channel and repro.net.clock."""
+
+import pytest
+
+from repro.exceptions import ChannelError
+from repro.net.channel import InProcessChannel, TcpServer
+from repro.net.clock import SimulatedClock, WallClock
+
+
+class TestClocks:
+    def test_wall_clock_monotonic(self):
+        clock = WallClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+    def test_simulated_clock_advances_only_on_demand(self):
+        clock = SimulatedClock()
+        assert clock.now() == 0.0
+        clock.advance(1.5)
+        assert clock.now() == 1.5
+        assert clock.now() == 1.5
+
+    def test_simulated_clock_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1.0)
+
+    def test_simulated_clock_start_offset(self):
+        assert SimulatedClock(10.0).now() == 10.0
+
+
+class TestInProcessChannel:
+    def test_delivers_request_and_response(self):
+        channel = InProcessChannel(lambda data: data[::-1])
+        assert channel.request(b"abc") == b"cba"
+
+    def test_byte_accounting(self):
+        channel = InProcessChannel(lambda data: b"RESPONSE")
+        channel.request(b"12345")
+        assert channel.bytes_sent == 5
+        assert channel.bytes_received == 8
+        assert channel.bytes_total == 13
+        assert channel.requests == 1
+
+    def test_deterministic_communication_time(self):
+        clock = SimulatedClock()
+        channel = InProcessChannel(
+            lambda data: b"x" * 100,
+            latency=1e-3,
+            bandwidth=1e6,
+            clock=clock,
+        )
+        channel.request(b"y" * 200)
+        expected = 2 * 1e-3 + 200 / 1e6 + 100 / 1e6
+        assert channel.communication_time == pytest.approx(expected)
+        assert clock.now() == pytest.approx(expected)
+
+    def test_infinite_bandwidth_only_latency(self):
+        channel = InProcessChannel(
+            lambda data: b"", latency=2e-3, bandwidth=None
+        )
+        channel.request(b"x" * 1000)
+        assert channel.communication_time == pytest.approx(4e-3)
+
+    def test_reset_accounting(self):
+        channel = InProcessChannel(lambda data: b"r")
+        channel.request(b"q")
+        channel.reset_accounting()
+        assert channel.bytes_total == 0
+        assert channel.communication_time == 0.0
+        assert channel.requests == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ChannelError):
+            InProcessChannel(lambda d: d, latency=-1.0)
+        with pytest.raises(ChannelError):
+            InProcessChannel(lambda d: d, bandwidth=0.0)
+
+
+class TestTcp:
+    def test_roundtrip_over_loopback(self):
+        with TcpServer(lambda data: b"echo:" + data) as server:
+            with server.connect() as channel:
+                assert channel.request(b"hello") == b"echo:hello"
+
+    def test_multiple_requests_one_connection(self):
+        with TcpServer(lambda data: data.upper()) as server:
+            with server.connect() as channel:
+                for word in (b"one", b"two", b"three"):
+                    assert channel.request(word) == word.upper()
+                assert channel.requests == 3
+
+    def test_byte_accounting_includes_framing(self):
+        with TcpServer(lambda data: b"pong") as server:
+            with server.connect() as channel:
+                channel.request(b"ping")
+                assert channel.bytes_sent == 4 + 4  # frame header + body
+                assert channel.bytes_received == 4 + 4
+
+    def test_large_payload(self):
+        blob = bytes(range(256)) * 4096  # 1 MiB
+        with TcpServer(lambda data: data) as server:
+            with server.connect() as channel:
+                assert channel.request(blob) == blob
+
+    def test_two_clients_in_parallel(self):
+        with TcpServer(lambda data: data + b"!") as server:
+            with server.connect() as a, server.connect() as b:
+                assert a.request(b"a") == b"a!"
+                assert b.request(b"b") == b"b!"
+
+    def test_connect_to_closed_server_fails(self):
+        server = TcpServer(lambda data: data)
+        port = server.port
+        server.shutdown()
+        with pytest.raises(ChannelError):
+            from repro.net.channel import TcpChannel
+
+            TcpChannel("127.0.0.1", port, timeout=0.5)
+
+    def test_note_server_time_reduces_comm_time(self):
+        with TcpServer(lambda data: data) as server:
+            with server.connect() as channel:
+                channel.request(b"x")
+                before = channel.communication_time
+                channel.note_server_time(before / 2)
+                assert channel.communication_time == pytest.approx(before / 2)

@@ -1,0 +1,137 @@
+"""Unit tests for repro.crypto.cipher (authenticated AES-CTR)."""
+
+import itertools
+
+import pytest
+
+from repro.crypto.cipher import AesCipher
+from repro.exceptions import AuthenticationError, CryptoError, KeyError_
+
+
+def _counting_nonces():
+    counter = itertools.count()
+    return lambda: next(counter).to_bytes(16, "big")
+
+
+class TestConstruction:
+    def test_accepts_standard_key_sizes(self):
+        for size in (16, 24, 32):
+            AesCipher(bytes(size))
+
+    def test_rejects_other_key_sizes(self):
+        with pytest.raises(KeyError_):
+            AesCipher(bytes(20))
+
+    def test_rejects_non_bytes_key(self):
+        with pytest.raises(KeyError_):
+            AesCipher("not-bytes" * 2)
+
+    def test_repr_hides_key(self):
+        assert "00" not in repr(AesCipher(bytes(16)))
+
+    def test_equality_by_key(self):
+        assert AesCipher(bytes(16)) == AesCipher(bytes(16))
+        assert AesCipher(bytes(16)) != AesCipher(bytes([1] * 16))
+
+
+class TestRoundtrip:
+    def test_roundtrip_various_lengths(self):
+        cipher = AesCipher(bytes(range(16)))
+        for length in (0, 1, 15, 16, 17, 100, 1000):
+            message = bytes(range(256)) * (length // 256 + 1)
+            message = message[:length]
+            assert cipher.decrypt(cipher.encrypt(message)) == message
+
+    def test_token_size_accounting(self):
+        cipher = AesCipher(bytes(16))
+        token = cipher.encrypt(b"x" * 123)
+        assert len(token) == cipher.token_size(123)
+        assert cipher.overhead == 32
+
+    def test_fresh_nonce_each_message(self):
+        cipher = AesCipher(bytes(16))
+        t1 = cipher.encrypt(b"same message")
+        t2 = cipher.encrypt(b"same message")
+        assert t1 != t2  # random nonce -> distinct ciphertexts
+
+    def test_deterministic_with_injected_nonces(self):
+        c1 = AesCipher(bytes(16), nonce_factory=_counting_nonces())
+        c2 = AesCipher(bytes(16), nonce_factory=_counting_nonces())
+        assert c1.encrypt(b"hello") == c2.encrypt(b"hello")
+
+
+class TestAuthentication:
+    def test_tampered_ciphertext_rejected(self):
+        cipher = AesCipher(bytes(16))
+        token = bytearray(cipher.encrypt(b"attack at dawn"))
+        token[20] ^= 0x01
+        with pytest.raises(AuthenticationError):
+            cipher.decrypt(bytes(token))
+
+    def test_tampered_nonce_rejected(self):
+        cipher = AesCipher(bytes(16))
+        token = bytearray(cipher.encrypt(b"attack at dawn"))
+        token[0] ^= 0x01
+        with pytest.raises(AuthenticationError):
+            cipher.decrypt(bytes(token))
+
+    def test_tampered_tag_rejected(self):
+        cipher = AesCipher(bytes(16))
+        token = bytearray(cipher.encrypt(b"attack at dawn"))
+        token[-1] ^= 0x01
+        with pytest.raises(AuthenticationError):
+            cipher.decrypt(bytes(token))
+
+    def test_wrong_key_rejected(self):
+        token = AesCipher(bytes(16)).encrypt(b"secret")
+        with pytest.raises(AuthenticationError):
+            AesCipher(bytes([9] * 16)).decrypt(token)
+
+    def test_truncated_token_rejected(self):
+        cipher = AesCipher(bytes(16))
+        with pytest.raises(AuthenticationError):
+            cipher.decrypt(b"too-short")
+
+    def test_non_bytes_rejected(self):
+        cipher = AesCipher(bytes(16))
+        with pytest.raises(CryptoError):
+            cipher.encrypt("string")
+        with pytest.raises(CryptoError):
+            cipher.decrypt(12345)
+
+
+class TestBatchApis:
+    def test_encrypt_many_matches_decrypt(self):
+        cipher = AesCipher(bytes(range(16)))
+        messages = [b"a" * n for n in (0, 1, 16, 33, 500)]
+        tokens = cipher.encrypt_many(messages)
+        assert cipher.decrypt_many(tokens) == messages
+
+    def test_batch_and_single_interoperate(self):
+        cipher = AesCipher(bytes(range(16)))
+        messages = [b"msg-%d" % i for i in range(10)]
+        batch_tokens = cipher.encrypt_many(messages)
+        for token, message in zip(batch_tokens, messages):
+            assert cipher.decrypt(token) == message
+        single_tokens = [cipher.encrypt(m) for m in messages]
+        assert cipher.decrypt_many(single_tokens) == messages
+
+    def test_batch_rejects_any_tampering(self):
+        cipher = AesCipher(bytes(16))
+        tokens = cipher.encrypt_many([b"one", b"two", b"three"])
+        tampered = list(tokens)
+        broken = bytearray(tampered[1])
+        broken[18] ^= 0xFF
+        tampered[1] = bytes(broken)
+        with pytest.raises(AuthenticationError):
+            cipher.decrypt_many(tampered)
+
+    def test_empty_batch(self):
+        cipher = AesCipher(bytes(16))
+        assert cipher.encrypt_many([]) == []
+        assert cipher.decrypt_many([]) == []
+
+    def test_token_size_validation(self):
+        cipher = AesCipher(bytes(16))
+        with pytest.raises(CryptoError):
+            cipher.token_size(-1)

@@ -1,0 +1,232 @@
+"""Unit tests for repro.core.client / repro.core.server / repro.core.cloud."""
+
+import numpy as np
+import pytest
+
+from repro.core.client import DataOwner, Strategy
+from repro.core.cloud import SimilarityCloud
+from repro.core.server import SimilarityCloudServer
+from repro.exceptions import ProtocolError, QueryError
+from repro.metric.distances import L1Distance
+from repro.metric.space import MetricSpace
+from repro.net.channel import InProcessChannel
+from repro.net.rpc import RpcClient
+from repro.wire.encoding import Writer
+
+from tests.conftest import brute_force_knn
+
+
+class TestInsertPath:
+    def test_owner_outsources_whole_collection(self, approx_cloud, small_data):
+        assert len(approx_cloud.server.index) == len(small_data)
+
+    def test_bulk_size_respected(self, small_data):
+        cloud = SimilarityCloud.build(
+            small_data,
+            distance=L1Distance(),
+            n_pivots=8,
+            bucket_capacity=40,
+            seed=7,
+        )
+        cloud.owner.outsource(
+            range(100), small_data[:100], bulk_size=30
+        )
+        # 100 objects in bulks of 30 -> 4 insert calls
+        assert cloud.owner.client.rpc.calls == 4
+
+    def test_mismatched_oids_rejected(self, approx_cloud, small_data):
+        client = approx_cloud.new_client()
+        with pytest.raises(QueryError):
+            client.insert_many([1, 2], small_data[:3])
+
+    def test_single_insert(self, approx_cloud, small_data, rng):
+        client = approx_cloud.new_client()
+        new_vector = rng.normal(size=12)
+        total = client.insert(10_000, new_vector)
+        assert total == len(small_data) + 1
+
+    def test_strategy_controls_wire_fields(self, small_data):
+        for strategy, has_distances in (
+            (Strategy.PRECISE, True),
+            (Strategy.APPROXIMATE, False),
+        ):
+            cloud = SimilarityCloud.build(
+                small_data,
+                distance=L1Distance(),
+                n_pivots=8,
+                bucket_capacity=40,
+                strategy=strategy,
+                seed=7,
+            )
+            cloud.owner.outsource(range(50), small_data[:50])
+            stored = cloud.server.storage.load(
+                next(iter(cloud.server.storage.cells()))
+            )
+            assert stored[0].has_distances is has_distances
+
+
+class TestSearchPath:
+    def test_approx_knn_head_is_correct_subset(
+        self, approx_cloud, small_data, queries
+    ):
+        client = approx_cloud.new_client()
+        for q in queries:
+            hits = client.knn_search(q, 10, cand_size=300)
+            truth = brute_force_knn(small_data, q, 10)
+            got = [hit.oid for hit in hits]
+            # at cand_size = half the collection recall should be high
+            assert len(set(got) & set(truth)) >= 5
+            # returned distances must be the true distances
+            for hit in hits:
+                true_d = float(np.abs(small_data[hit.oid] - q).sum())
+                assert hit.distance == pytest.approx(true_d)
+
+    def test_full_cand_size_gives_exact_answer(
+        self, approx_cloud, small_data, queries
+    ):
+        client = approx_cloud.new_client()
+        q = queries[0]
+        hits = client.knn_search(q, 10, cand_size=len(small_data))
+        assert [h.oid for h in hits] == brute_force_knn(small_data, q, 10)
+
+    def test_range_search_exact(self, precise_cloud, small_data, queries):
+        client = precise_cloud.new_client()
+        for q in queries[:4]:
+            dists = np.abs(small_data - q).sum(axis=1)
+            radius = float(np.sort(dists)[15])
+            hits = client.range_search(q, radius)
+            expected = set(np.nonzero(dists <= radius)[0])
+            assert {h.oid for h in hits} == expected
+
+    def test_range_requires_precise_strategy(self, approx_cloud, queries):
+        client = approx_cloud.new_client()
+        with pytest.raises(QueryError):
+            client.range_search(queries[0], 1.0)
+
+    def test_knn_precise_matches_brute_force(
+        self, precise_cloud, small_data, queries
+    ):
+        client = precise_cloud.new_client()
+        for q in queries[:4]:
+            hits = client.knn_precise(q, 7)
+            assert [h.oid for h in hits] == brute_force_knn(small_data, q, 7)
+
+    def test_knn_precise_requires_precise_strategy(
+        self, approx_cloud, queries
+    ):
+        client = approx_cloud.new_client()
+        with pytest.raises(QueryError):
+            client.knn_precise(queries[0], 3)
+
+    def test_refine_limit_truncates_work(self, approx_cloud, queries):
+        client = approx_cloud.new_client()
+        client.knn_search(queries[0], 5, cand_size=200, refine_limit=50)
+        assert client.costs.count("candidates_received") == 200
+        assert client.costs.count("candidates_refined") == 50
+
+    def test_invalid_parameters(self, approx_cloud, queries):
+        client = approx_cloud.new_client()
+        with pytest.raises(QueryError):
+            client.knn_search(queries[0], 0, cand_size=10)
+        with pytest.raises(QueryError):
+            client.knn_search(queries[0], 10, cand_size=5)
+
+
+class TestCostReporting:
+    def test_search_report_components(self, approx_cloud, queries):
+        client = approx_cloud.new_client()
+        client.knn_search(queries[0], 5, cand_size=100)
+        report = client.report()
+        assert report.decryption_time > 0.0
+        assert report.distance_time > 0.0
+        assert report.client_time >= (
+            report.decryption_time + report.distance_time
+        )
+        assert report.communication_bytes > 0
+        assert report.extras["candidates_received"] == 100
+
+    def test_reset_accounting(self, approx_cloud, queries):
+        client = approx_cloud.new_client()
+        client.knn_search(queries[0], 5, cand_size=100)
+        client.reset_accounting()
+        report = client.report()
+        assert report.client_time == 0.0
+        assert report.communication_bytes == 0
+
+    def test_insert_report_has_encryption(self, small_data):
+        cloud = SimilarityCloud.build(
+            small_data, distance=L1Distance(), n_pivots=8,
+            bucket_capacity=40, seed=7,
+        )
+        cloud.owner.outsource(range(100), small_data[:100])
+        report = cloud.owner.client.report()
+        assert report.encryption_time > 0.0
+        assert report.distance_time > 0.0
+        assert report.server_time > 0.0
+
+
+class TestServerValidation:
+    def test_unknown_cand_size_zero_rejected(self, approx_cloud):
+        client = approx_cloud.new_client()
+        writer = Writer()
+        writer.i32_array(np.arange(8, dtype=np.int32))
+        writer.u32(0)
+        writer.u32(0)
+        with pytest.raises(ProtocolError):
+            client.rpc.call("approx_knn", writer)
+
+    def test_stats_handler(self, approx_cloud):
+        client = approx_cloud.new_client()
+        reader = client.rpc.call("stats")
+        count = reader.u32()
+        stats = {}
+        for _ in range(count):
+            key = reader.string()
+            stats[key] = reader.f64()
+        assert stats["records"] == 600
+
+    def test_server_reset_accounting(self, approx_cloud):
+        approx_cloud.server.reset_accounting()
+        assert approx_cloud.server.server_time == 0.0
+
+
+class TestDataOwner:
+    def test_create_generates_key(self, small_data):
+        server = SimilarityCloudServer(8, 40)
+        channel = InProcessChannel(server.handle)
+        space = MetricSpace(L1Distance(), 12)
+        owner = DataOwner.create(
+            small_data,
+            space,
+            RpcClient(channel),
+            n_pivots=8,
+            rng=np.random.default_rng(5),
+        )
+        assert owner.secret_key.n_pivots == 8
+        assert owner.authorize() is owner.secret_key
+
+    def test_authorized_client_can_search(
+        self, approx_cloud, small_data, queries
+    ):
+        key = approx_cloud.owner.authorize()
+        client = approx_cloud.new_client(secret_key=key)
+        hits = client.knn_search(queries[0], 5, cand_size=150)
+        assert len(hits) == 5
+
+
+class TestCloudTcp:
+    def test_build_over_tcp(self, small_data, queries):
+        with SimilarityCloud.build(
+            small_data[:200],
+            distance=L1Distance(),
+            n_pivots=6,
+            bucket_capacity=40,
+            seed=3,
+            use_tcp=True,
+        ) as cloud:
+            cloud.owner.outsource(range(200), small_data[:200])
+            client = cloud.new_client()
+            hits = client.knn_search(queries[0], 5, cand_size=100)
+            assert len(hits) == 5
+            report = client.report()
+            assert report.communication_bytes > 0

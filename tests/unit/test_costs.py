@@ -1,0 +1,103 @@
+"""Unit tests for repro.core.costs."""
+
+import pytest
+
+from repro.core.costs import CostRecorder, CostReport
+from repro.net.clock import SimulatedClock
+
+
+class TestCostRecorder:
+    def test_manual_charging(self):
+        recorder = CostRecorder()
+        recorder.add_time("client", 0.5)
+        recorder.add_time("client", 0.25)
+        assert recorder.seconds("client") == pytest.approx(0.75)
+
+    def test_unknown_component_is_zero(self):
+        assert CostRecorder().seconds("nothing") == 0.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            CostRecorder().add_time("x", -1.0)
+
+    def test_timer_with_simulated_clock(self):
+        clock = SimulatedClock()
+        recorder = CostRecorder(clock=clock)
+        with recorder.time("work"):
+            clock.advance(2.0)
+        assert recorder.seconds("work") == pytest.approx(2.0)
+
+    def test_nested_timers_both_charged(self):
+        clock = SimulatedClock()
+        recorder = CostRecorder(clock=clock)
+        with recorder.time("outer"):
+            with recorder.time("inner"):
+                clock.advance(1.0)
+            clock.advance(0.5)
+        assert recorder.seconds("inner") == pytest.approx(1.0)
+        assert recorder.seconds("outer") == pytest.approx(1.5)
+
+    def test_counters(self):
+        recorder = CostRecorder()
+        recorder.add_count("objects")
+        recorder.add_count("objects", 4)
+        assert recorder.count("objects") == 5
+        assert recorder.count("other") == 0
+
+    def test_reset(self):
+        recorder = CostRecorder()
+        recorder.add_time("a", 1.0)
+        recorder.add_count("c", 2)
+        recorder.reset()
+        assert recorder.seconds("a") == 0.0
+        assert recorder.count("c") == 0
+
+    def test_as_dict_copy(self):
+        recorder = CostRecorder()
+        recorder.add_time("a", 1.0)
+        snapshot = recorder.as_dict()
+        snapshot["a"] = 99.0
+        assert recorder.seconds("a") == 1.0
+
+
+class TestCostReport:
+    def test_overall_is_client_server_communication(self):
+        report = CostReport(
+            client_time=1.0,
+            encryption_time=0.4,
+            server_time=2.0,
+            communication_time=0.5,
+        )
+        # encryption is a detail row inside client time, not added again
+        assert report.overall_time == pytest.approx(3.5)
+
+    def test_communication_kb(self):
+        assert CostReport(communication_bytes=2500).communication_kb == 2.5
+
+    def test_scaled(self):
+        report = CostReport(
+            client_time=10.0, server_time=20.0, communication_bytes=1000
+        )
+        per_query = report.scaled(10)
+        assert per_query.client_time == pytest.approx(1.0)
+        assert per_query.server_time == pytest.approx(2.0)
+        assert per_query.communication_bytes == 100
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            CostReport().scaled(0)
+
+    def test_addition(self):
+        a = CostReport(client_time=1.0, communication_bytes=10, extras={"x": 1})
+        b = CostReport(client_time=2.0, communication_bytes=5, extras={"y": 2})
+        merged = a + b
+        assert merged.client_time == pytest.approx(3.0)
+        assert merged.communication_bytes == 15
+        assert merged.extras == {"x": 1, "y": 2}
+
+    def test_as_dict_includes_extras(self):
+        report = CostReport(client_time=1.0, extras={"recall": 90.0})
+        data = report.as_dict()
+        assert data["client_time"] == 1.0
+        assert data["recall"] == 90.0
+        assert "overall_time" in data

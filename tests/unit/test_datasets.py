@@ -1,0 +1,138 @@
+"""Unit tests for repro.datasets."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import (
+    cophir_distance,
+    load_dataset,
+    make_cophir,
+    make_human,
+    make_yeast,
+)
+from repro.datasets.synthetic import (
+    COPHIR_BLOCKS,
+    clustered_gaussian,
+    gene_expression_matrix,
+    image_descriptor_matrix,
+)
+from repro.exceptions import DatasetError
+from repro.metric.space import check_metric_postulates
+
+
+class TestGenerators:
+    def test_clustered_gaussian_shape(self, rng):
+        data = clustered_gaussian(100, 5, rng)
+        assert data.shape == (100, 5)
+        assert data.dtype == np.float64
+
+    def test_gene_expression_is_positive(self, rng):
+        matrix = gene_expression_matrix(200, 17, rng)
+        assert matrix.shape == (200, 17)
+        assert np.all(matrix > 0)  # expression levels
+
+    def test_gene_expression_is_clustered(self, rng):
+        """Within-cluster L1 distances must be smaller than global."""
+        matrix = gene_expression_matrix(300, 17, rng, n_clusters=3)
+        from repro.metric.distances import L1Distance
+
+        d = L1Distance()
+        global_sample = [
+            d(matrix[i], matrix[j])
+            for i, j in rng.integers(0, 300, size=(200, 2))
+        ]
+        nearest = []
+        for i in rng.integers(0, 300, size=40):
+            dists = d.batch(matrix[i], matrix)
+            nearest.append(np.partition(dists, 1)[1])
+        assert np.median(nearest) < np.median(global_sample) / 2
+
+    def test_image_descriptors_shape_and_range(self, rng):
+        matrix = image_descriptor_matrix(50, rng)
+        total_dim = sum(width for _n, width in COPHIR_BLOCKS)
+        assert matrix.shape == (50, total_dim)
+        assert total_dim == 280  # the paper's dimensionality
+        assert np.all(matrix >= 0)
+        assert np.all(matrix <= 63)
+        assert np.all(matrix == np.rint(matrix))  # quantized
+
+    def test_deterministic_given_seed(self):
+        a = gene_expression_matrix(50, 8, np.random.default_rng(5))
+        b = gene_expression_matrix(50, 8, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(DatasetError):
+            clustered_gaussian(0, 5, rng)
+        with pytest.raises(DatasetError):
+            gene_expression_matrix(10, 0, rng)
+        with pytest.raises(DatasetError):
+            image_descriptor_matrix(0, rng)
+
+
+class TestRegistry:
+    def test_yeast_matches_table_1_and_2(self):
+        ds = make_yeast()
+        assert ds.n_records == 2_882
+        assert ds.dimension == 17
+        assert ds.distance.name == "l1"
+        assert ds.bucket_capacity == 200
+        assert ds.n_pivots == 30
+        assert ds.storage_type == "memory"
+
+    def test_human_matches_table_1_and_2(self):
+        ds = make_human()
+        assert ds.n_records == 4_026
+        assert ds.dimension == 96
+        assert ds.bucket_capacity == 250
+        assert ds.n_pivots == 50
+
+    def test_cophir_matches_table_1_and_2(self):
+        ds = make_cophir(n_records=500)
+        assert ds.dimension == 280
+        assert ds.bucket_capacity == 1_000
+        assert ds.n_pivots == 100
+        assert ds.storage_type == "disk"
+        assert ds.info["paper_records"] == 1_000_000
+
+    def test_queries_held_out(self):
+        ds = make_yeast(n_queries=10)
+        assert len(ds.queries) == 10
+        # no query row appears in the indexed set
+        for q in ds.queries:
+            assert not any(np.array_equal(q, row) for row in ds.vectors[:50])
+
+    def test_load_dataset_by_name(self):
+        assert load_dataset("yeast").name == "YEAST"
+        assert load_dataset("HUMAN").name == "HUMAN"
+        assert load_dataset("cophir", n_records=200).name == "CoPhIR"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("imagenet")
+
+    def test_oids_cover_collection(self):
+        ds = make_yeast()
+        oids = ds.oids()
+        assert oids[0] == 0
+        assert oids[-1] == ds.n_records - 1
+
+
+class TestCophirDistance:
+    def test_covers_280_dimensions(self):
+        assert cophir_distance().dimension == 280
+
+    def test_is_a_metric(self, rng):
+        sample = image_descriptor_matrix(40, rng)
+        check_metric_postulates(cophir_distance(), sample, rng=rng, triples=60)
+
+    def test_all_blocks_contribute(self, rng):
+        d = cophir_distance()
+        x = image_descriptor_matrix(2, rng)
+        base = d(x[0], x[1])
+        offset = 0
+        for _name, width in COPHIR_BLOCKS:
+            y = x[1].copy()
+            y[offset : offset + width] = x[0][offset : offset + width]
+            assert d(x[0], y) < base  # removing a block's difference helps
+            offset += width

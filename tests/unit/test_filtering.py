@@ -1,0 +1,93 @@
+"""Unit tests for repro.metric.filtering (triangle-inequality bounds)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MetricError
+from repro.metric.distances import L1Distance
+from repro.metric.filtering import (
+    pivot_filter_lower_bound,
+    pivot_filter_lower_bounds,
+    pivot_filter_upper_bound,
+    pivot_filter_upper_bounds,
+)
+
+
+def _setup(rng, n_pivots=6, dim=5):
+    pivots = rng.normal(size=(n_pivots, dim))
+    q = rng.normal(size=dim)
+    o = rng.normal(size=dim)
+    d = L1Distance()
+    q_dists = np.array([d(q, p) for p in pivots])
+    o_dists = np.array([d(o, p) for p in pivots])
+    return d(q, o), q_dists, o_dists
+
+
+class TestBounds:
+    def test_lower_bound_is_valid(self, rng):
+        for _ in range(50):
+            true, q_dists, o_dists = _setup(rng)
+            assert pivot_filter_lower_bound(q_dists, o_dists) <= true + 1e-9
+
+    def test_upper_bound_is_valid(self, rng):
+        for _ in range(50):
+            true, q_dists, o_dists = _setup(rng)
+            assert pivot_filter_upper_bound(q_dists, o_dists) >= true - 1e-9
+
+    def test_lower_never_exceeds_upper(self, rng):
+        for _ in range(20):
+            _true, q_dists, o_dists = _setup(rng)
+            lo = pivot_filter_lower_bound(q_dists, o_dists)
+            hi = pivot_filter_upper_bound(q_dists, o_dists)
+            assert lo <= hi + 1e-12
+
+    def test_exact_when_object_is_pivot(self, rng):
+        d = L1Distance()
+        pivots = rng.normal(size=(4, 3))
+        q = rng.normal(size=3)
+        o = pivots[2]
+        q_dists = np.array([d(q, p) for p in pivots])
+        o_dists = np.array([d(o, p) for p in pivots])
+        true = d(q, o)
+        assert pivot_filter_lower_bound(q_dists, o_dists) == pytest.approx(true)
+        assert pivot_filter_upper_bound(q_dists, o_dists) == pytest.approx(true)
+
+    def test_known_values(self):
+        q = np.array([1.0, 5.0])
+        o = np.array([4.0, 6.0])
+        assert pivot_filter_lower_bound(q, o) == 3.0
+        assert pivot_filter_upper_bound(q, o) == 5.0
+
+
+class TestVectorizedBounds:
+    def test_matrix_matches_scalar(self, rng):
+        q_dists = np.abs(rng.normal(size=5))
+        matrix = np.abs(rng.normal(size=(12, 5)))
+        lows = pivot_filter_lower_bounds(q_dists, matrix)
+        highs = pivot_filter_upper_bounds(q_dists, matrix)
+        for i in range(12):
+            assert lows[i] == pytest.approx(
+                pivot_filter_lower_bound(q_dists, matrix[i])
+            )
+            assert highs[i] == pytest.approx(
+                pivot_filter_upper_bound(q_dists, matrix[i])
+            )
+
+    def test_single_row_input(self, rng):
+        q_dists = np.abs(rng.normal(size=4))
+        row = np.abs(rng.normal(size=4))
+        assert pivot_filter_lower_bounds(q_dists, row).shape == (1,)
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(MetricError):
+            pivot_filter_lower_bound(np.zeros(3), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(MetricError):
+            pivot_filter_lower_bound(np.array([]), np.array([]))
+
+    def test_matrix_shape_mismatch_rejected(self):
+        with pytest.raises(MetricError):
+            pivot_filter_lower_bounds(np.zeros(3), np.zeros((5, 4)))

@@ -1,0 +1,113 @@
+"""Unit tests for repro.crypto.keys (SecretKey)."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.keys import SecretKey
+from repro.exceptions import KeyError_
+from repro.metric.distances import L1Distance
+from repro.metric.space import MetricSpace
+
+
+class TestConstruction:
+    def test_basic_fields(self, rng):
+        pivots = rng.normal(size=(5, 3))
+        key = SecretKey(pivots, bytes(16))
+        assert key.n_pivots == 5
+        assert key.dimension == 3
+
+    def test_rejects_bad_pivots(self):
+        with pytest.raises(KeyError_):
+            SecretKey(np.zeros(5), bytes(16))
+        with pytest.raises(KeyError_):
+            SecretKey(np.zeros((0, 3)), bytes(16))
+
+    def test_rejects_bad_cipher_key(self, rng):
+        with pytest.raises(KeyError_):
+            SecretKey(rng.normal(size=(3, 2)), bytes(10))
+
+    def test_repr_hides_material(self, rng):
+        key = SecretKey(rng.normal(size=(3, 2)), bytes(16))
+        assert "0.0" not in repr(key)
+
+
+class TestGenerate:
+    def test_pivots_drawn_from_data(self, rng):
+        data = rng.normal(size=(50, 4))
+        key = SecretKey.generate(data, 6, rng=np.random.default_rng(1))
+        for pivot in key.pivots:
+            assert any(np.array_equal(pivot, row) for row in data)
+
+    def test_deterministic_with_seed(self, rng):
+        data = rng.normal(size=(50, 4))
+        a = SecretKey.generate(data, 6, rng=np.random.default_rng(9))
+        b = SecretKey.generate(data, 6, rng=np.random.default_rng(9))
+        assert a == b
+
+    def test_random_without_rng(self, rng):
+        data = rng.normal(size=(50, 4))
+        a = SecretKey.generate(data, 6)
+        b = SecretKey.generate(data, 6)
+        assert a.cipher_key != b.cipher_key  # os.urandom keys differ
+
+    def test_key_bits(self, rng):
+        data = rng.normal(size=(20, 4))
+        for bits in (128, 192, 256):
+            key = SecretKey.generate(
+                data, 3, rng=np.random.default_rng(0), key_bits=bits
+            )
+            assert len(key.cipher_key) * 8 == bits
+        with pytest.raises(KeyError_):
+            SecretKey.generate(data, 3, key_bits=100)
+
+    def test_maxmin_strategy(self, rng):
+        data = rng.normal(size=(60, 4))
+        space = MetricSpace(L1Distance(), 4)
+        key = SecretKey.generate(
+            data, 4, rng=np.random.default_rng(2), strategy="maxmin",
+            space=space,
+        )
+        assert key.n_pivots == 4
+
+
+class TestSerialization:
+    def test_roundtrip(self, rng):
+        key = SecretKey(rng.normal(size=(7, 5)), bytes(range(16)))
+        restored = SecretKey.from_bytes(key.to_bytes())
+        assert restored == key
+        np.testing.assert_array_equal(restored.pivots, key.pivots)
+
+    def test_roundtrip_256_bit(self, rng):
+        key = SecretKey(rng.normal(size=(2, 3)), bytes(32))
+        assert SecretKey.from_bytes(key.to_bytes()) == key
+
+    def test_truncated_blob_rejected(self, rng):
+        blob = SecretKey(rng.normal(size=(3, 2)), bytes(16)).to_bytes()
+        with pytest.raises(KeyError_):
+            SecretKey.from_bytes(blob[:-1])
+
+    def test_bad_magic_rejected(self, rng):
+        blob = bytearray(SecretKey(rng.normal(size=(3, 2)), bytes(16)).to_bytes())
+        blob[0] ^= 0xFF
+        with pytest.raises(KeyError_):
+            SecretKey.from_bytes(bytes(blob))
+
+    def test_restored_cipher_interoperates(self, rng):
+        key = SecretKey(rng.normal(size=(3, 2)), bytes(range(16)))
+        restored = SecretKey.from_bytes(key.to_bytes())
+        token = key.cipher.encrypt(b"cross-key message")
+        assert restored.cipher.decrypt(token) == b"cross-key message"
+
+
+class TestEquality:
+    def test_hashable(self, rng):
+        pivots = rng.normal(size=(3, 2))
+        a = SecretKey(pivots, bytes(16))
+        b = SecretKey(pivots.copy(), bytes(16))
+        assert hash(a) == hash(b)
+        assert a == b
+
+    def test_different_pivots_not_equal(self, rng):
+        a = SecretKey(rng.normal(size=(3, 2)), bytes(16))
+        b = SecretKey(rng.normal(size=(3, 2)), bytes(16))
+        assert a != b

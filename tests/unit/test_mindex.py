@@ -1,0 +1,231 @@
+"""Unit tests for repro.mindex.index (the M-Index itself).
+
+Correctness is checked against brute force: the range-search candidate
+set must be a superset of the true range answer (no false negatives
+ever), and the pruning/filtering must discard only objects that cannot
+qualify.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.records import IndexedRecord, vector_to_payload
+from repro.exceptions import IndexError_, QueryError
+from repro.metric.distances import L1Distance
+from repro.metric.permutations import pivot_permutation
+from repro.mindex.index import MIndex, RangeSearchStats
+from repro.storage.memory import MemoryStorage
+
+_DIM = 6
+_N_PIVOTS = 7
+
+
+def _build_index(
+    rng,
+    n_records=300,
+    bucket_capacity=20,
+    with_distances=True,
+    max_level=4,
+):
+    d = L1Distance()
+    data = rng.normal(size=(n_records, _DIM)) * 3
+    pivots = data[rng.choice(n_records, _N_PIVOTS, replace=False)]
+    index = MIndex(
+        _N_PIVOTS, bucket_capacity, MemoryStorage(), max_level=max_level
+    )
+    for oid, vector in enumerate(data):
+        dists = d.batch(vector, pivots)
+        record = IndexedRecord(
+            oid,
+            pivot_permutation(dists),
+            dists if with_distances else None,
+            vector_to_payload(vector),
+        )
+        index.insert(record)
+    return index, data, pivots, d
+
+
+class TestInsertion:
+    def test_all_records_stored(self, rng):
+        index, data, _pivots, _d = _build_index(rng)
+        assert len(index) == len(data)
+        assert len(index.storage) == len(data)
+
+    def test_splitting_keeps_buckets_bounded(self, rng):
+        index, _data, _pivots, _d = _build_index(rng, bucket_capacity=10)
+        for leaf in index.tree.leaves():
+            if index.tree.can_split(leaf):
+                assert leaf.count <= 10
+
+    def test_tree_grows_beyond_first_level(self, rng):
+        index, _data, _pivots, _d = _build_index(rng, bucket_capacity=10)
+        assert index.depth >= 1
+        assert index.n_cells > 1
+
+    def test_wrong_permutation_size_rejected(self, rng):
+        index = MIndex(5, 10, MemoryStorage())
+        record = IndexedRecord(
+            1, np.array([0, 1, 2], dtype=np.int32), None, b"x"
+        )
+        with pytest.raises(IndexError_):
+            index.insert(record)
+
+    def test_statistics(self, rng):
+        index, data, _pivots, _d = _build_index(rng)
+        stats = index.statistics()
+        assert stats["records"] == len(data)
+        assert stats["occupied_cells"] >= 1
+        assert stats["avg_occupied_bucket"] > 0
+
+    def test_invalid_bucket_capacity(self):
+        with pytest.raises(IndexError_):
+            MIndex(5, 0, MemoryStorage())
+
+    def test_bulk_insert_count(self, rng):
+        d = L1Distance()
+        data = rng.normal(size=(20, _DIM))
+        pivots = data[:_N_PIVOTS]
+        index = MIndex(_N_PIVOTS, 10, MemoryStorage())
+        records = []
+        for oid, vector in enumerate(data):
+            dists = d.batch(vector, pivots)
+            records.append(
+                IndexedRecord(oid, pivot_permutation(dists), dists, b"x")
+            )
+        assert index.bulk_insert(records) == 20
+
+
+class TestRangeSearch:
+    def test_no_false_negatives(self, rng):
+        index, data, pivots, d = _build_index(rng)
+        for _ in range(15):
+            q = rng.normal(size=_DIM) * 3
+            q_dists = d.batch(q, pivots)
+            true_dists = d.batch(q, data)
+            radius = float(np.percentile(true_dists, 5))
+            candidate_ids = {
+                r.oid for r in index.range_search(q_dists, radius)
+            }
+            expected = set(np.nonzero(true_dists <= radius)[0])
+            assert expected <= candidate_ids
+
+    def test_pruning_discards_something(self, rng):
+        index, data, pivots, d = _build_index(rng, bucket_capacity=10)
+        q = rng.normal(size=_DIM) * 3
+        q_dists = d.batch(q, pivots)
+        true_dists = d.batch(q, data)
+        radius = float(np.percentile(true_dists, 2))
+        stats = RangeSearchStats()
+        candidates = index.range_search(q_dists, radius, stats=stats)
+        assert len(candidates) < len(data)
+        assert (
+            stats.cells_pruned_double_pivot
+            + stats.cells_pruned_range_pivot
+            + stats.records_filtered
+        ) > 0
+
+    def test_zero_radius(self, rng):
+        index, data, pivots, d = _build_index(rng)
+        target = data[17]
+        q_dists = d.batch(target, pivots)
+        candidates = index.range_search(q_dists, 0.0)
+        assert 17 in {r.oid for r in candidates}
+
+    def test_infinite_radius_returns_everything(self, rng):
+        index, data, pivots, d = _build_index(rng)
+        q = rng.normal(size=_DIM)
+        q_dists = d.batch(q, pivots)
+        candidates = index.range_search(q_dists, float("inf"))
+        assert len(candidates) == len(data)
+
+    def test_requires_distances(self, rng):
+        index, data, pivots, d = _build_index(rng, with_distances=False)
+        q_dists = d.batch(rng.normal(size=_DIM), pivots)
+        with pytest.raises(QueryError):
+            index.range_search(q_dists, 1.0)
+
+    def test_invalid_queries_rejected(self, rng):
+        index, _data, _pivots, _d = _build_index(rng, n_records=30)
+        with pytest.raises(QueryError):
+            index.range_search(np.zeros(_N_PIVOTS), -1.0)
+        with pytest.raises(QueryError):
+            index.range_search(np.zeros(3), 1.0)
+
+
+class TestApproxKnn:
+    def test_candidate_count_respected(self, rng):
+        index, data, pivots, d = _build_index(rng)
+        q = rng.normal(size=_DIM) * 3
+        perm = pivot_permutation(d.batch(q, pivots))
+        candidates = index.approx_knn_candidates(perm, 50)
+        assert len(candidates) == 50
+
+    def test_cand_size_larger_than_collection(self, rng):
+        index, data, pivots, d = _build_index(rng, n_records=40)
+        perm = pivot_permutation(d.batch(rng.normal(size=_DIM), pivots))
+        candidates = index.approx_knn_candidates(perm, 1000)
+        assert len(candidates) == 40
+
+    def test_candidates_are_preranked(self, rng):
+        """Recall of the head must beat recall of the tail on average."""
+        index, data, pivots, d = _build_index(rng, bucket_capacity=10)
+        head_hits = 0
+        tail_hits = 0
+        for _ in range(20):
+            q = rng.normal(size=_DIM) * 3
+            true_top = set(np.argsort(d.batch(q, data))[:10])
+            perm = pivot_permutation(d.batch(q, pivots))
+            candidates = index.approx_knn_candidates(perm, 100)
+            head = {r.oid for r in candidates[:50]}
+            tail = {r.oid for r in candidates[50:]}
+            head_hits += len(true_top & head)
+            tail_hits += len(true_top & tail)
+        assert head_hits > tail_hits
+
+    def test_recall_improves_with_cand_size(self, rng):
+        index, data, pivots, d = _build_index(rng, bucket_capacity=10)
+        recalls = []
+        for cand_size in (20, 100, 300):
+            hits = 0
+            for qi in range(10):
+                q = rng.normal(size=_DIM) * 3
+                true_top = set(np.argsort(d.batch(q, data))[:5])
+                perm = pivot_permutation(d.batch(q, pivots))
+                got = {
+                    r.oid
+                    for r in index.approx_knn_candidates(perm, cand_size)
+                }
+                hits += len(true_top & got)
+            recalls.append(hits)
+        assert recalls[0] <= recalls[1] <= recalls[2]
+        assert recalls[2] == 50  # cand 300/300 = full scan -> perfect
+
+    def test_max_cells_limits_access(self, rng):
+        index, data, pivots, d = _build_index(rng, bucket_capacity=10)
+        perm = pivot_permutation(d.batch(rng.normal(size=_DIM), pivots))
+        limited = index.approx_knn_candidates(perm, 10_000, max_cells=1)
+        # one cell only: at most one bucket's worth of records
+        biggest = max(leaf.count for leaf in index.tree.leaves())
+        assert 0 < len(limited) <= biggest
+
+    def test_works_without_distances(self, rng):
+        index, data, pivots, d = _build_index(rng, with_distances=False)
+        perm = pivot_permutation(d.batch(rng.normal(size=_DIM), pivots))
+        assert len(index.approx_knn_candidates(perm, 30)) == 30
+
+    def test_invalid_parameters_rejected(self, rng):
+        index, _data, pivots, d = _build_index(rng, n_records=30)
+        perm = pivot_permutation(d.batch(rng.normal(size=_DIM), pivots))
+        with pytest.raises(QueryError):
+            index.approx_knn_candidates(perm, 0)
+        with pytest.raises(QueryError):
+            index.approx_knn_candidates(perm, 10, max_cells=0)
+        with pytest.raises(QueryError):
+            index.approx_knn_candidates(np.array([0, 1]), 10)
+
+    def test_deterministic_ordering(self, rng):
+        index, data, pivots, d = _build_index(rng)
+        perm = pivot_permutation(d.batch(rng.normal(size=_DIM), pivots))
+        a = [r.oid for r in index.approx_knn_candidates(perm, 40)]
+        b = [r.oid for r in index.approx_knn_candidates(perm, 40)]
+        assert a == b

@@ -1,0 +1,174 @@
+"""Unit tests for M-Index maintenance: bulk loading and deletion."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import IndexedRecord, vector_to_payload
+from repro.exceptions import IndexError_, QueryError
+from repro.metric.distances import L1Distance
+from repro.metric.permutations import pivot_permutation
+from repro.mindex.index import MIndex
+from repro.storage.disk import DiskStorage
+from repro.storage.memory import MemoryStorage
+
+_DIM = 5
+_N_PIVOTS = 6
+
+
+def _records(rng, n=200):
+    d = L1Distance()
+    data = rng.normal(size=(n, _DIM)) * 3
+    pivots = data[rng.choice(n, _N_PIVOTS, replace=False)]
+    records = []
+    for oid, vector in enumerate(data):
+        dists = d.batch(vector, pivots)
+        records.append(
+            IndexedRecord(
+                oid,
+                pivot_permutation(dists),
+                dists,
+                vector_to_payload(vector),
+            )
+        )
+    return records, data, pivots, d
+
+
+class TestBulkLoad:
+    def test_equivalent_to_incremental_insert(self, rng):
+        records, data, pivots, d = _records(rng)
+        loaded = MIndex(_N_PIVOTS, 15, MemoryStorage(), max_level=3)
+        loaded.bulk_load(records)
+        incremental = MIndex(_N_PIVOTS, 15, MemoryStorage(), max_level=3)
+        incremental.bulk_insert(records)
+        assert len(loaded) == len(incremental) == len(records)
+        # identical range-query candidates on both builds
+        for _ in range(5):
+            q = rng.normal(size=_DIM) * 3
+            q_dists = d.batch(q, pivots)
+            radius = float(np.sort(d.batch(q, data))[10])
+            a = sorted(r.oid for r in loaded.range_search(q_dists, radius))
+            b = sorted(
+                r.oid for r in incremental.range_search(q_dists, radius)
+            )
+            assert a == b
+
+    def test_fewer_storage_writes_than_incremental(self, rng, tmp_path):
+        records, *_ = _records(rng)
+        disk_a = DiskStorage(tmp_path / "load")
+        loaded = MIndex(_N_PIVOTS, 15, disk_a, max_level=3)
+        loaded.bulk_load(records)
+        disk_b = DiskStorage(tmp_path / "insert")
+        incremental = MIndex(_N_PIVOTS, 15, disk_b, max_level=3)
+        incremental.bulk_insert(records)
+        assert disk_a.writes < disk_b.writes / 3
+
+    def test_requires_empty_index(self, rng):
+        records, *_ = _records(rng, n=30)
+        index = MIndex(_N_PIVOTS, 15, MemoryStorage())
+        index.insert(records[0])
+        with pytest.raises(IndexError_):
+            index.bulk_load(records[1:])
+
+    def test_wrong_pivot_count_rejected(self, rng):
+        index = MIndex(4, 15, MemoryStorage())
+        record = IndexedRecord(
+            0, np.arange(6, dtype=np.int32), None, b"x"
+        )
+        with pytest.raises(IndexError_):
+            index.bulk_load([record])
+
+    def test_empty_load(self):
+        index = MIndex(_N_PIVOTS, 15, MemoryStorage())
+        assert index.bulk_load([]) == 0
+        assert len(index) == 0
+
+    def test_respects_max_level(self, rng):
+        records, *_ = _records(rng)
+        index = MIndex(_N_PIVOTS, 2, MemoryStorage(), max_level=2)
+        index.bulk_load(records)
+        assert index.depth <= 2
+        assert len(index) == len(records)
+
+
+class TestDelete:
+    def test_delete_removes_from_search(self, rng):
+        records, data, pivots, d = _records(rng)
+        index = MIndex(_N_PIVOTS, 15, MemoryStorage(), max_level=3)
+        index.bulk_insert(records)
+        victim = records[17]
+        assert index.delete(victim.oid, victim.permutation) is True
+        assert len(index) == len(records) - 1
+        q_dists = d.batch(data[17], pivots)
+        survivors = {r.oid for r in index.range_search(q_dists, 1e9)}
+        assert victim.oid not in survivors
+        assert len(survivors) == len(records) - 1
+
+    def test_delete_missing_oid_returns_false(self, rng):
+        records, *_ = _records(rng, n=50)
+        index = MIndex(_N_PIVOTS, 15, MemoryStorage())
+        index.bulk_insert(records)
+        assert index.delete(99_999, records[0].permutation) is False
+        assert len(index) == 50
+
+    def test_delete_then_reinsert(self, rng):
+        records, data, pivots, d = _records(rng, n=60)
+        index = MIndex(_N_PIVOTS, 15, MemoryStorage())
+        index.bulk_insert(records)
+        index.delete(records[5].oid, records[5].permutation)
+        index.insert(records[5])
+        assert len(index) == 60
+        q_dists = d.batch(data[5], pivots)
+        found = {r.oid for r in index.range_search(q_dists, 0.0)}
+        assert records[5].oid in found
+
+    def test_delete_whole_cell(self, rng):
+        records, *_ = _records(rng, n=40)
+        index = MIndex(_N_PIVOTS, 100, MemoryStorage(), max_level=1)
+        index.bulk_insert(records)
+        for record in records:
+            assert index.delete(record.oid, record.permutation)
+        assert len(index) == 0
+
+    def test_intervals_rebuilt_after_delete(self, rng):
+        """Deleting the interval-extreme record must tighten the leaf
+        intervals, or range pruning would be silently wrong."""
+        records, data, pivots, d = _records(rng)
+        index = MIndex(_N_PIVOTS, 15, MemoryStorage(), max_level=2)
+        index.bulk_insert(records)
+        # delete half the records, then verify range correctness
+        for record in records[::2]:
+            index.delete(record.oid, record.permutation)
+        remaining_ids = {r.oid for r in records[1::2]}
+        for _ in range(5):
+            q = rng.normal(size=_DIM) * 3
+            q_dists = d.batch(q, pivots)
+            true = d.batch(q, data)
+            radius = float(np.percentile(true, 20))
+            got = {r.oid for r in index.range_search(q_dists, radius)}
+            expected = {
+                i for i in np.nonzero(true <= radius)[0]
+                if i in remaining_ids
+            }
+            assert expected <= got
+
+    def test_invalid_permutation_rejected(self, rng):
+        index = MIndex(_N_PIVOTS, 15, MemoryStorage())
+        with pytest.raises(QueryError):
+            index.delete(1, np.arange(3))
+
+
+class TestClientDelete:
+    def test_end_to_end_delete(self, approx_cloud, small_data):
+        client = approx_cloud.new_client()
+        before = len(approx_cloud.server.index)
+        assert client.delete(42, small_data[42]) is True
+        assert len(approx_cloud.server.index) == before - 1
+        # deleted object no longer appears even with a full-scan budget
+        hits = client.knn_search(
+            small_data[42], 5, cand_size=len(small_data)
+        )
+        assert 42 not in {h.oid for h in hits}
+
+    def test_delete_unknown_returns_false(self, approx_cloud, small_data):
+        client = approx_cloud.new_client()
+        assert client.delete(10_000_000, small_data[0]) is False

@@ -1,0 +1,104 @@
+"""Unit tests for repro.crypto.ope (order-preserving encryption)."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.ope import OrderPreservingEncryption
+from repro.exceptions import CryptoError
+
+
+def _fitted(key: bytes = b"test-key", high: float = 100.0):
+    ope = OrderPreservingEncryption(key)
+    return ope.fit(np.linspace(0.0, high, 200))
+
+
+class TestCalibration:
+    def test_requires_fit_before_use(self):
+        ope = OrderPreservingEncryption(b"k")
+        with pytest.raises(CryptoError):
+            ope.encrypt(1.0)
+        with pytest.raises(CryptoError):
+            ope.decrypt(1.0)
+        with pytest.raises(CryptoError):
+            _ = ope.domain
+
+    def test_fit_sets_domain_with_margin(self):
+        ope = _fitted(high=100.0)
+        low, high = ope.domain
+        assert low == 0.0
+        assert high == pytest.approx(125.0)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(CryptoError):
+            OrderPreservingEncryption(b"k").fit(np.array([]))
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(CryptoError):
+            OrderPreservingEncryption(b"k").fit(np.array([-1.0, 2.0]))
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(CryptoError):
+            OrderPreservingEncryption(b"")
+        with pytest.raises(CryptoError):
+            OrderPreservingEncryption(b"k", resolution=1)
+
+
+class TestOrderPreservation:
+    def test_strictly_increasing_on_domain(self):
+        ope = _fitted()
+        values = np.linspace(0.0, 125.0, 500)
+        encrypted = ope.encrypt(values)
+        assert np.all(np.diff(encrypted) > 0)
+
+    def test_order_preserved_beyond_domain(self):
+        ope = _fitted()
+        values = np.array([100.0, 200.0, 400.0])
+        encrypted = ope.encrypt(values)
+        assert np.all(np.diff(encrypted) > 0)
+
+    def test_scalar_and_array_agree(self):
+        ope = _fitted()
+        values = np.array([0.5, 17.0, 99.0])
+        array_result = ope.encrypt(values)
+        for value, expected in zip(values, array_result):
+            assert ope.encrypt(float(value)) == pytest.approx(expected)
+
+    def test_negative_input_rejected(self):
+        ope = _fitted()
+        with pytest.raises(CryptoError):
+            ope.encrypt(-1.0)
+
+
+class TestKeyedBehaviour:
+    def test_same_key_same_function(self):
+        a = _fitted(b"key-one")
+        b = _fitted(b"key-one")
+        values = np.linspace(0, 100, 50)
+        np.testing.assert_allclose(a.encrypt(values), b.encrypt(values))
+
+    def test_different_keys_different_functions(self):
+        a = _fitted(b"key-one")
+        b = _fitted(b"key-two")
+        values = np.linspace(1, 100, 50)
+        assert not np.allclose(a.encrypt(values), b.encrypt(values))
+
+    def test_transformation_is_nonlinear(self):
+        # a linear map would leak the distribution shape exactly
+        ope = _fitted()
+        values = np.linspace(0, 100, 200)
+        encrypted = np.asarray(ope.encrypt(values))
+        slopes = np.diff(encrypted) / np.diff(values)
+        assert slopes.std() / slopes.mean() > 0.05
+
+
+class TestDecrypt:
+    def test_roundtrip_within_domain(self):
+        ope = _fitted()
+        values = np.linspace(0.0, 120.0, 100)
+        recovered = ope.decrypt(np.asarray(ope.encrypt(values)))
+        np.testing.assert_allclose(recovered, values, atol=1e-6)
+
+    def test_roundtrip_beyond_domain(self):
+        ope = _fitted()
+        value = 300.0
+        assert ope.decrypt(ope.encrypt(value)) == pytest.approx(value, rel=1e-9)

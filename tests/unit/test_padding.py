@@ -1,0 +1,56 @@
+"""Unit tests for repro.crypto.padding (PKCS#7)."""
+
+import pytest
+
+from repro.crypto.padding import pkcs7_pad, pkcs7_unpad
+from repro.exceptions import PaddingError
+
+
+class TestPad:
+    def test_pads_to_block_multiple(self):
+        assert len(pkcs7_pad(b"abc", 16)) == 16
+        assert len(pkcs7_pad(b"a" * 16, 16)) == 32  # full block appended
+
+    def test_padding_byte_values(self):
+        padded = pkcs7_pad(b"abc", 8)
+        assert padded == b"abc" + bytes([5]) * 5
+
+    def test_empty_input(self):
+        assert pkcs7_pad(b"", 8) == bytes([8]) * 8
+
+    def test_invalid_block_size(self):
+        with pytest.raises(PaddingError):
+            pkcs7_pad(b"x", 0)
+        with pytest.raises(PaddingError):
+            pkcs7_pad(b"x", 256)
+
+
+class TestUnpad:
+    def test_roundtrip(self):
+        for length in range(0, 50):
+            data = bytes(range(length % 256))[:length]
+            assert pkcs7_unpad(pkcs7_pad(data, 16), 16) == data
+
+    def test_corrupt_final_byte(self):
+        padded = bytearray(pkcs7_pad(b"hello", 16))
+        padded[-1] = 0
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(bytes(padded), 16)
+
+    def test_inconsistent_padding_bytes(self):
+        bad = b"hello" + bytes([1] * 10) + bytes([11])
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(bad, 16)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(b"12345", 16)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(b"", 16)
+
+    def test_pad_length_exceeding_block_rejected(self):
+        bad = bytes([17] * 16)
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(bad, 16)

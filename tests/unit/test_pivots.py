@@ -1,0 +1,88 @@
+"""Unit tests for repro.metric.pivots."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PivotError
+from repro.metric.distances import L2Distance
+from repro.metric.pivots import maxmin_pivots, random_pivots, select_pivots
+from repro.metric.space import MetricSpace
+
+
+class TestRandomPivots:
+    def test_count_and_shape(self, rng):
+        data = rng.normal(size=(50, 4))
+        pivots = random_pivots(data, 7, rng)
+        assert pivots.shape == (7, 4)
+
+    def test_pivots_come_from_data(self, rng):
+        data = rng.normal(size=(30, 3))
+        pivots = random_pivots(data, 5, rng)
+        for pivot in pivots:
+            assert any(np.array_equal(pivot, row) for row in data)
+
+    def test_distinct_rows_selected(self, rng):
+        data = np.arange(20, dtype=np.float64).reshape(10, 2)
+        pivots = random_pivots(data, 10, rng)
+        assert len({tuple(p) for p in pivots}) == 10
+
+    def test_deterministic_given_seed(self):
+        data = np.random.default_rng(0).normal(size=(40, 3))
+        a = random_pivots(data, 6, np.random.default_rng(42))
+        b = random_pivots(data, 6, np.random.default_rng(42))
+        np.testing.assert_array_equal(a, b)
+
+    def test_too_many_rejected(self, rng):
+        data = rng.normal(size=(5, 2))
+        with pytest.raises(PivotError):
+            random_pivots(data, 6, rng)
+
+    def test_non_positive_rejected(self, rng):
+        data = rng.normal(size=(5, 2))
+        with pytest.raises(PivotError):
+            random_pivots(data, 0, rng)
+
+
+class TestMaxminPivots:
+    def test_spreads_further_than_random(self, rng):
+        # two tight clusters far apart: maxmin must pick from both
+        cluster_a = rng.normal(0.0, 0.1, size=(50, 2))
+        cluster_b = rng.normal(100.0, 0.1, size=(50, 2))
+        data = np.vstack([cluster_a, cluster_b])
+        space = MetricSpace(L2Distance(), 2)
+        pivots = maxmin_pivots(data, 2, rng, space)
+        gap = space.distance(pivots[0], pivots[1])
+        assert gap > 50.0
+
+    def test_handles_duplicate_points(self, rng):
+        data = np.zeros((20, 3))
+        space = MetricSpace(L2Distance(), 3)
+        pivots = maxmin_pivots(data, 4, rng, space)
+        assert pivots.shape == (4, 3)
+
+
+class TestSelectPivots:
+    def test_random_strategy_default(self, rng):
+        data = rng.normal(size=(30, 3))
+        pivots = select_pivots(data, 4, rng=rng)
+        assert pivots.shape == (4, 3)
+
+    def test_metric_strategies_need_space(self, rng):
+        data = rng.normal(size=(30, 3))
+        with pytest.raises(PivotError):
+            select_pivots(data, 4, strategy="maxmin", rng=rng)
+
+    def test_unknown_strategy_rejected(self, rng):
+        data = rng.normal(size=(30, 3))
+        with pytest.raises(PivotError):
+            select_pivots(data, 4, strategy="voodoo", rng=rng)
+
+    def test_spread_strategy_runs(self, rng):
+        data = rng.normal(size=(60, 3))
+        space = MetricSpace(L2Distance(), 3)
+        pivots = select_pivots(data, 5, strategy="spread", rng=rng, space=space)
+        assert pivots.shape == (5, 3)
+
+    def test_non_matrix_rejected(self, rng):
+        with pytest.raises(PivotError):
+            select_pivots(np.zeros(10), 2, rng=rng)

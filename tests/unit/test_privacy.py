@@ -1,0 +1,205 @@
+"""Unit tests for repro.privacy (levels, attacks, analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import IndexedRecord
+from repro.exceptions import EvaluationError
+from repro.metric.distances import L1Distance
+from repro.metric.permutations import pivot_permutation
+from repro.metric.space import MetricSpace
+from repro.privacy.analysis import (
+    distribution_distance,
+    normalized_entropy,
+    prefix_entropy,
+)
+from repro.privacy.attacks import (
+    CooccurrenceAttack,
+    DistanceDistributionAttack,
+    PermutationFrequencyAttack,
+)
+from repro.privacy.levels import (
+    KNOWN_SYSTEMS,
+    PrivacyLevel,
+    classify_system,
+)
+
+
+class TestLevels:
+    def test_plain_is_level_1(self):
+        assert classify_system(KNOWN_SYSTEMS["plain-mindex"]) == (
+            PrivacyLevel.NO_ENCRYPTION
+        )
+
+    def test_raw_encrypted_is_level_2(self):
+        assert classify_system(KNOWN_SYSTEMS["raw-encrypted-mindex"]) == (
+            PrivacyLevel.RAW_DATA_ENCRYPTION
+        )
+
+    def test_encrypted_mindex_is_level_3(self):
+        """§4.3: both strategies of the Encrypted M-Index sit at level 3."""
+        assert classify_system(
+            KNOWN_SYSTEMS["encrypted-mindex-precise"]
+        ) == PrivacyLevel.MS_OBJECTS_ENCRYPTION
+        assert classify_system(
+            KNOWN_SYSTEMS["encrypted-mindex-approximate"]
+        ) == PrivacyLevel.MS_OBJECTS_ENCRYPTION
+
+    def test_distribution_hiding_systems_are_level_4(self):
+        """§5.4: the Yiu et al. schemes modify/hide distances."""
+        for name in ("mpt", "fdh", "ehi", "trivial"):
+            assert classify_system(KNOWN_SYSTEMS[name]) == (
+                PrivacyLevel.DISTRIBUTION_ENCRYPTION
+            )
+
+    def test_levels_are_ordered(self):
+        assert (
+            PrivacyLevel.NO_ENCRYPTION
+            < PrivacyLevel.RAW_DATA_ENCRYPTION
+            < PrivacyLevel.MS_OBJECTS_ENCRYPTION
+            < PrivacyLevel.DISTRIBUTION_ENCRYPTION
+        )
+
+
+def _records_from(data, pivots, d, with_distances):
+    records = []
+    for oid, vector in enumerate(data):
+        dists = d.batch(vector, pivots)
+        records.append(
+            IndexedRecord(
+                oid,
+                pivot_permutation(dists),
+                dists if with_distances else None,
+                b"ciphertext",
+            )
+        )
+    return records
+
+
+@pytest.fixture
+def clustered_setup(rng):
+    d = L1Distance()
+    centers = rng.normal(0.0, 10.0, size=(4, 6))
+    assignment = rng.integers(0, 4, size=400)
+    data = centers[assignment] + rng.normal(0.0, 0.5, size=(400, 6))
+    pivots = data[rng.choice(400, 12, replace=False)]
+    return data, pivots, d
+
+
+class TestPermutationFrequencyAttack:
+    def test_detects_clustering(self, clustered_setup, rng):
+        data, pivots, d = clustered_setup
+        records = _records_from(data, pivots, d, with_distances=False)
+        attack = PermutationFrequencyAttack(records, prefix_length=1)
+        # with 4 tight clusters and 12 pivots the biggest first-level
+        # cell holds far more than a uniform 1/12 share
+        assert attack.skew() > 2.0 / 12.0
+
+    def test_uniform_data_less_skewed(self, rng):
+        d = L1Distance()
+        data = rng.uniform(-10, 10, size=(400, 6))
+        pivots = data[rng.choice(400, 12, replace=False)]
+        records = _records_from(data, pivots, d, with_distances=False)
+        attack = PermutationFrequencyAttack(records, prefix_length=1)
+        assert attack.skew() < 0.5
+
+    def test_histogram_sums_to_collection(self, clustered_setup):
+        data, pivots, d = clustered_setup
+        records = _records_from(data, pivots, d, with_distances=False)
+        attack = PermutationFrequencyAttack(records)
+        assert sum(attack.cell_histogram().values()) == len(data)
+
+    def test_top_cells_sorted(self, clustered_setup):
+        data, pivots, d = clustered_setup
+        records = _records_from(data, pivots, d, with_distances=False)
+        top = PermutationFrequencyAttack(records).top_cells(5)
+        counts = [count for _prefix, count in top]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_empty_view_rejected(self):
+        with pytest.raises(EvaluationError):
+            PermutationFrequencyAttack([])
+
+
+class TestDistanceDistributionAttack:
+    def test_precise_strategy_leaks_distribution(self, clustered_setup, rng):
+        data, pivots, d = clustered_setup
+        records = _records_from(data, pivots, d, with_distances=True)
+        attack = DistanceDistributionAttack(records)
+        sample_idx = rng.choice(len(data), 100, replace=False)
+        true_pairwise = np.array(
+            [
+                d(data[i], data[j])
+                for i in sample_idx[:50]
+                for j in sample_idx[50:60]
+            ]
+        )
+        score = attack.leakage_score(true_pairwise)
+        assert score > 0.5  # substantially similar distributions
+
+    def test_approximate_strategy_closes_channel(self, clustered_setup):
+        data, pivots, d = clustered_setup
+        records = _records_from(data, pivots, d, with_distances=False)
+        with pytest.raises(EvaluationError):
+            DistanceDistributionAttack(records)
+
+    def test_reconstructed_sample_size(self, clustered_setup):
+        data, pivots, d = clustered_setup
+        records = _records_from(data, pivots, d, with_distances=True)
+        sample = DistanceDistributionAttack(records).reconstructed_sample()
+        assert sample.shape == (len(data) * len(pivots),)
+
+
+class TestCooccurrenceAttack:
+    def test_graph_covers_pivots(self, clustered_setup):
+        data, pivots, d = clustered_setup
+        records = _records_from(data, pivots, d, with_distances=False)
+        attack = CooccurrenceAttack(records, n_pivots=len(pivots))
+        graph = attack.cooccurrence_graph()
+        assert graph.number_of_nodes() == len(pivots)
+        assert graph.number_of_edges() > 0
+
+    def test_recovers_proximity_structure(self, clustered_setup):
+        data, pivots, d = clustered_setup
+        records = _records_from(data, pivots, d, with_distances=False)
+        attack = CooccurrenceAttack(records, n_pivots=len(pivots))
+        space = MetricSpace(L1Distance(), 6)
+        score = attack.structure_score(pivots, space)
+        assert score > 0.5  # better than random pairing
+
+    def test_invalid_parameters(self, clustered_setup):
+        data, pivots, d = clustered_setup
+        records = _records_from(data[:5], pivots, d, with_distances=False)
+        with pytest.raises(EvaluationError):
+            CooccurrenceAttack(records, n_pivots=0)
+        with pytest.raises(EvaluationError):
+            CooccurrenceAttack(records, n_pivots=12, window=1)
+
+
+class TestAnalysis:
+    def test_prefix_entropy_uniform_vs_constant(self):
+        constant = [np.array([0, 1, 2])] * 50
+        assert prefix_entropy(constant, 1) == 0.0
+        varied = [np.array([i % 4, (i + 1) % 4, (i + 2) % 4]) for i in range(48)]
+        assert prefix_entropy(varied, 1) == pytest.approx(2.0)
+
+    def test_normalized_entropy_bounds(self, clustered_setup):
+        data, pivots, d = clustered_setup
+        perms = [
+            pivot_permutation(d.batch(v, pivots)) for v in data[:100]
+        ]
+        value = normalized_entropy(perms, 2, len(pivots))
+        assert 0.0 <= value <= 1.0
+
+    def test_distribution_distance_identical_zero(self, rng):
+        sample = rng.normal(size=500)
+        assert distribution_distance(sample, sample) == 0.0
+
+    def test_distribution_distance_disjoint_one(self, rng):
+        a = rng.normal(0.0, 0.1, size=500)
+        b = rng.normal(100.0, 0.1, size=500)
+        assert distribution_distance(a, b) == pytest.approx(1.0)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(EvaluationError):
+            distribution_distance(np.array([]), np.array([1.0]))

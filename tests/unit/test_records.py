@@ -1,0 +1,140 @@
+"""Unit tests for repro.core.records."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import (
+    CandidateEntry,
+    IndexedRecord,
+    payload_to_vector,
+    vector_to_payload,
+)
+from repro.exceptions import ProtocolError
+from repro.wire.encoding import Reader, Writer
+
+
+def _perm(n=5):
+    return np.random.default_rng(0).permutation(n).astype(np.int32)
+
+
+class TestIndexedRecord:
+    def test_permutation_only(self):
+        record = IndexedRecord(1, _perm(), None, b"payload")
+        assert record.has_distances is False
+        assert record.n_pivots == 5
+
+    def test_distances_only(self):
+        record = IndexedRecord(2, None, np.array([3.0, 1.0, 2.0]), b"x")
+        assert record.has_distances is True
+        assert record.n_pivots == 3
+
+    def test_ensure_permutation_derives_from_distances(self):
+        record = IndexedRecord(2, None, np.array([3.0, 1.0, 2.0]), b"x")
+        perm = record.ensure_permutation()
+        assert perm.tolist() == [1, 2, 0]
+
+    def test_ensure_permutation_keeps_existing(self):
+        perm = _perm()
+        record = IndexedRecord(3, perm, None, b"x")
+        np.testing.assert_array_equal(record.ensure_permutation(), perm)
+
+    def test_needs_permutation_or_distances(self):
+        with pytest.raises(ProtocolError):
+            IndexedRecord(1, None, None, b"x")
+
+    def test_misaligned_shapes_rejected(self):
+        with pytest.raises(ProtocolError):
+            IndexedRecord(1, _perm(5), np.zeros(4), b"x")
+
+    def test_empty_permutation_rejected(self):
+        with pytest.raises(ProtocolError):
+            IndexedRecord(1, np.array([], dtype=np.int32), None, b"x")
+
+
+class TestRecordSerialization:
+    def test_roundtrip_permutation_only(self):
+        record = IndexedRecord(7, _perm(), None, b"enc-bytes")
+        restored = IndexedRecord.from_bytes(record.to_bytes())
+        assert restored.oid == 7
+        np.testing.assert_array_equal(restored.permutation, record.permutation)
+        assert restored.distances is None
+        assert restored.payload == b"enc-bytes"
+
+    def test_roundtrip_distances_only(self):
+        record = IndexedRecord(8, None, np.array([1.5, 0.25]), b"p")
+        restored = IndexedRecord.from_bytes(record.to_bytes())
+        assert restored.permutation is None
+        np.testing.assert_array_equal(restored.distances, record.distances)
+
+    def test_roundtrip_both_fields(self):
+        record = IndexedRecord(
+            9, np.array([1, 0], dtype=np.int32), np.array([2.0, 1.0]), b"pp"
+        )
+        restored = IndexedRecord.from_bytes(record.to_bytes())
+        np.testing.assert_array_equal(restored.permutation, record.permutation)
+        np.testing.assert_array_equal(restored.distances, record.distances)
+
+    def test_wire_size_is_exact(self):
+        for record in (
+            IndexedRecord(1, _perm(), None, b"abc"),
+            IndexedRecord(2, None, np.zeros(6), b""),
+            IndexedRecord(3, _perm(4), np.ones(4), b"xyz123"),
+        ):
+            assert len(record.to_bytes()) == record.wire_size
+
+    def test_trailing_bytes_rejected(self):
+        blob = IndexedRecord(1, _perm(), None, b"x").to_bytes() + b"junk"
+        with pytest.raises(ProtocolError):
+            IndexedRecord.from_bytes(blob)
+
+    def test_invalid_flags_rejected(self):
+        writer = Writer()
+        writer.u64(1)
+        writer.u8(0)  # neither permutation nor distances
+        writer.blob(b"x")
+        with pytest.raises(ProtocolError):
+            IndexedRecord.read_from(Reader(writer.getvalue()))
+
+    def test_stream_of_records(self):
+        records = [
+            IndexedRecord(i, _perm(), None, bytes([i] * 4)) for i in range(5)
+        ]
+        writer = Writer()
+        for record in records:
+            record.write_to(writer)
+        reader = Reader(writer.getvalue())
+        restored = [IndexedRecord.read_from(reader) for _ in range(5)]
+        reader.expect_end()
+        assert [r.oid for r in restored] == [0, 1, 2, 3, 4]
+
+
+class TestCandidateEntry:
+    def test_roundtrip(self):
+        entry = CandidateEntry(42, b"token-bytes")
+        writer = Writer()
+        entry.write_to(writer)
+        restored = CandidateEntry.read_from(Reader(writer.getvalue()))
+        assert restored.oid == 42
+        assert restored.payload == b"token-bytes"
+
+    def test_wire_size_exact(self):
+        entry = CandidateEntry(1, b"0123456789")
+        writer = Writer()
+        entry.write_to(writer)
+        assert len(writer.getvalue()) == entry.wire_size
+
+
+class TestVectorPayloads:
+    def test_roundtrip(self, rng):
+        vector = rng.normal(size=17)
+        np.testing.assert_array_equal(
+            payload_to_vector(vector_to_payload(vector)), vector
+        )
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ProtocolError):
+            payload_to_vector(b"12345")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProtocolError):
+            payload_to_vector(b"")

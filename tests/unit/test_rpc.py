@@ -1,0 +1,91 @@
+"""Unit tests for repro.net.rpc."""
+
+import pytest
+
+from repro.exceptions import ProtocolError, QueryError
+from repro.net.channel import InProcessChannel
+from repro.net.rpc import RpcClient, RpcDispatcher
+from repro.wire.encoding import Reader, Writer
+
+
+def _echo(body: Reader) -> Writer:
+    return Writer().blob(body.blob())
+
+
+def _fail(body: Reader) -> Writer:
+    raise QueryError("deliberate failure")
+
+
+def _make_pair():
+    dispatcher = RpcDispatcher()
+    dispatcher.register("echo", _echo)
+    dispatcher.register("fail", _fail)
+    client = RpcClient(InProcessChannel(dispatcher.handle))
+    return dispatcher, client
+
+
+class TestDispatch:
+    def test_echo_roundtrip(self):
+        _dispatcher, client = _make_pair()
+        reader = client.call("echo", Writer().blob(b"payload"))
+        assert reader.blob() == b"payload"
+
+    def test_unknown_method_raises_client_side(self):
+        _dispatcher, client = _make_pair()
+        with pytest.raises(ProtocolError, match="unknown method"):
+            client.call("nope")
+
+    def test_library_errors_become_responses(self):
+        _dispatcher, client = _make_pair()
+        with pytest.raises(ProtocolError, match="deliberate failure"):
+            client.call("fail")
+
+    def test_duplicate_registration_rejected(self):
+        dispatcher = RpcDispatcher()
+        dispatcher.register("m", _echo)
+        with pytest.raises(ProtocolError):
+            dispatcher.register("m", _echo)
+
+    def test_non_library_exception_propagates(self):
+        dispatcher = RpcDispatcher()
+
+        def boom(body: Reader) -> Writer:
+            raise RuntimeError("bug")
+
+        dispatcher.register("boom", boom)
+        client = RpcClient(InProcessChannel(dispatcher.handle))
+        with pytest.raises(RuntimeError):
+            client.call("boom")
+
+
+class TestAccounting:
+    def test_server_time_accumulates_on_both_sides(self):
+        dispatcher, client = _make_pair()
+        client.call("echo", Writer().blob(b"a"))
+        client.call("echo", Writer().blob(b"b"))
+        assert dispatcher.calls == 2
+        assert client.calls == 2
+        assert client.server_time == pytest.approx(
+            dispatcher.server_time, abs=1e-9
+        )
+        assert dispatcher.server_time >= 0.0
+
+    def test_error_calls_still_count_server_time(self):
+        dispatcher, client = _make_pair()
+        with pytest.raises(ProtocolError):
+            client.call("fail")
+        assert dispatcher.calls == 1
+
+    def test_reset_accounting(self):
+        dispatcher, client = _make_pair()
+        client.call("echo", Writer().blob(b"a"))
+        client.reset_accounting()
+        dispatcher.reset_accounting()
+        assert client.server_time == 0.0
+        assert client.channel.bytes_total == 0
+        assert dispatcher.server_time == 0.0
+
+    def test_bytes_body_accepted(self):
+        _dispatcher, client = _make_pair()
+        raw = Writer().blob(b"inline").getvalue()
+        assert client.call("echo", raw).blob() == b"inline"

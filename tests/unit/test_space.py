@@ -1,0 +1,87 @@
+"""Unit tests for repro.metric.space."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MetricError
+from repro.metric.distances import Distance, L1Distance, L2Distance
+from repro.metric.space import MetricSpace, check_metric_postulates
+
+
+class TestMetricSpace:
+    def test_counts_single_calls(self):
+        space = MetricSpace(L1Distance(), 3)
+        space.d(np.zeros(3), np.ones(3))
+        space.d(np.zeros(3), np.ones(3))
+        assert space.distance_count == 2
+
+    def test_counts_batch_calls(self):
+        space = MetricSpace(L1Distance(), 3)
+        space.d_batch(np.zeros(3), np.ones((7, 3)))
+        assert space.distance_count == 7
+
+    def test_reset_returns_previous(self):
+        space = MetricSpace(L1Distance(), 3)
+        space.d(np.zeros(3), np.ones(3))
+        assert space.reset_counter() == 1
+        assert space.distance_count == 0
+
+    def test_dimension_enforced(self):
+        space = MetricSpace(L1Distance(), 3)
+        with pytest.raises(MetricError):
+            space.d(np.zeros(4), np.zeros(3))
+
+    def test_dimension_none_allows_any(self):
+        space = MetricSpace(L1Distance())
+        assert space.d(np.zeros(5), np.ones(5)) == 5.0
+
+    def test_invalid_dimension_rejected(self):
+        with pytest.raises(MetricError):
+            MetricSpace(L1Distance(), 0)
+
+    def test_batch_result_matches_distance(self):
+        rng = np.random.default_rng(0)
+        space = MetricSpace(L2Distance(), 4)
+        q = rng.normal(size=4)
+        xs = rng.normal(size=(6, 4))
+        np.testing.assert_allclose(
+            space.d_batch(q, xs), [space.distance(q, x) for x in xs]
+        )
+
+
+class _BrokenSymmetry(Distance):
+    name = "broken"
+
+    def _pair(self, x, y):
+        return float(np.abs(x - y).sum() + (1.0 if x[0] > y[0] else 0.0))
+
+
+class _BrokenTriangle(Distance):
+    name = "broken-triangle"
+
+    def _pair(self, x, y):
+        return float(np.abs(x - y).sum() ** 2)
+
+
+class TestCheckPostulates:
+    def test_accepts_l1(self, rng):
+        sample = rng.normal(size=(30, 5))
+        check_metric_postulates(L1Distance(), sample, rng=rng)
+
+    def test_accepts_l2(self, rng):
+        sample = rng.normal(size=(30, 5))
+        check_metric_postulates(L2Distance(), sample, rng=rng)
+
+    def test_rejects_asymmetric(self, rng):
+        sample = rng.normal(size=(30, 5))
+        with pytest.raises(MetricError, match="symmetry"):
+            check_metric_postulates(_BrokenSymmetry(), sample, rng=rng)
+
+    def test_rejects_triangle_violation(self, rng):
+        sample = rng.normal(size=(30, 5))
+        with pytest.raises(MetricError, match="triangle"):
+            check_metric_postulates(_BrokenTriangle(), sample, rng=rng)
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(MetricError):
+            check_metric_postulates(L1Distance(), np.zeros((2, 3)))

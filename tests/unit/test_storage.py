@@ -1,0 +1,153 @@
+"""Unit tests for repro.storage (bucket, memory and disk backends)."""
+
+import numpy as np
+import pytest
+
+from repro.core.records import IndexedRecord
+from repro.exceptions import BucketCapacityError, StorageError
+from repro.storage.bucket import Bucket
+from repro.storage.disk import DiskStorage
+from repro.storage.memory import MemoryStorage
+
+
+def _record(oid: int, n_pivots: int = 4) -> IndexedRecord:
+    rng = np.random.default_rng(oid)
+    return IndexedRecord(
+        oid,
+        rng.permutation(n_pivots).astype(np.int32),
+        rng.random(n_pivots),
+        bytes([oid % 256] * 10),
+    )
+
+
+class TestBucket:
+    def test_add_until_full(self):
+        bucket = Bucket(3)
+        for oid in range(3):
+            bucket.add(_record(oid))
+        assert bucket.is_full
+        with pytest.raises(BucketCapacityError):
+            bucket.add(_record(99))
+
+    def test_initial_records(self):
+        bucket = Bucket(5, [_record(1), _record(2)])
+        assert len(bucket) == 2
+        assert [r.oid for r in bucket] == [1, 2]
+
+    def test_initial_overflow_rejected(self):
+        with pytest.raises(BucketCapacityError):
+            Bucket(1, [_record(1), _record(2)])
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            Bucket(0)
+
+
+class _StorageContract:
+    """Shared behavioural tests for both storage backends."""
+
+    def make(self, tmp_path):
+        raise NotImplementedError
+
+    def test_save_and_load(self, tmp_path):
+        storage = self.make(tmp_path)
+        records = [_record(i) for i in range(5)]
+        storage.save(("a",), records)
+        loaded = storage.load(("a",))
+        assert [r.oid for r in loaded] == [0, 1, 2, 3, 4]
+        np.testing.assert_array_equal(
+            loaded[2].distances, records[2].distances
+        )
+
+    def test_load_missing_returns_empty(self, tmp_path):
+        storage = self.make(tmp_path)
+        assert storage.load(("missing",)) == []
+
+    def test_append_creates_and_extends(self, tmp_path):
+        storage = self.make(tmp_path)
+        storage.append((1, 2), _record(1))
+        storage.append((1, 2), _record(2))
+        assert [r.oid for r in storage.load((1, 2))] == [1, 2]
+
+    def test_save_replaces(self, tmp_path):
+        storage = self.make(tmp_path)
+        storage.save(("x",), [_record(1), _record(2)])
+        storage.save(("x",), [_record(3)])
+        assert [r.oid for r in storage.load(("x",))] == [3]
+
+    def test_delete(self, tmp_path):
+        storage = self.make(tmp_path)
+        storage.save(("x",), [_record(1)])
+        storage.delete(("x",))
+        assert storage.load(("x",)) == []
+        with pytest.raises(StorageError):
+            storage.delete(("x",))
+
+    def test_cell_size_without_io(self, tmp_path):
+        storage = self.make(tmp_path)
+        storage.save(("c",), [_record(i) for i in range(3)])
+        reads_before = storage.reads
+        assert storage.cell_size(("c",)) == 3
+        assert storage.cell_size(("missing",)) == 0
+        assert storage.reads == reads_before
+
+    def test_cells_iteration_and_len(self, tmp_path):
+        storage = self.make(tmp_path)
+        storage.save(("a",), [_record(1)])
+        storage.save(("b",), [_record(2), _record(3)])
+        assert sorted(storage.cells()) == [("a",), ("b",)]
+        assert len(storage) == 3
+
+    def test_accounting_counters(self, tmp_path):
+        storage = self.make(tmp_path)
+        storage.save(("a",), [_record(1)])
+        storage.load(("a",))
+        assert storage.bytes_written > 0
+        assert storage.bytes_read > 0
+        storage.reset_accounting()
+        assert storage.bytes_written == 0
+        assert storage.reads == 0
+
+    def test_payloads_survive_roundtrip(self, tmp_path):
+        storage = self.make(tmp_path)
+        record = IndexedRecord(
+            7, np.array([1, 0], dtype=np.int32), None, b"\x00\xff" * 50
+        )
+        storage.save(("p",), [record])
+        assert storage.load(("p",))[0].payload == b"\x00\xff" * 50
+
+
+class TestMemoryStorage(_StorageContract):
+    def make(self, tmp_path):
+        return MemoryStorage()
+
+    def test_load_returns_copy(self, tmp_path):
+        storage = self.make(tmp_path)
+        storage.save(("a",), [_record(1)])
+        loaded = storage.load(("a",))
+        loaded.append(_record(2))
+        assert len(storage.load(("a",))) == 1
+
+
+class TestDiskStorage(_StorageContract):
+    def make(self, tmp_path):
+        return DiskStorage(tmp_path / "cells")
+
+    def test_files_created_on_disk(self, tmp_path):
+        storage = self.make(tmp_path)
+        storage.save(("a", "b"), [_record(1)])
+        files = list((tmp_path / "cells").iterdir())
+        assert len(files) == 1
+        assert files[0].name.startswith("cell_")
+
+    def test_distinct_cells_distinct_files(self, tmp_path):
+        storage = self.make(tmp_path)
+        storage.save((1,), [_record(1)])
+        storage.save((2,), [_record(2)])
+        assert len(list((tmp_path / "cells").iterdir())) == 2
+
+    def test_delete_removes_file(self, tmp_path):
+        storage = self.make(tmp_path)
+        storage.save((1,), [_record(1)])
+        storage.delete((1,))
+        assert list((tmp_path / "cells").iterdir()) == []

@@ -1,0 +1,71 @@
+"""Unit tests for repro.metric.strings."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MetricError
+from repro.metric.strings import GenericMetricSpace, levenshtein
+
+
+class TestLevenshtein:
+    def test_known_values(self):
+        assert levenshtein("kitten", "sitting") == 3
+        assert levenshtein("flaw", "lawn") == 2
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+        assert levenshtein("", "") == 0
+
+    def test_identity(self):
+        assert levenshtein("same", "same") == 0
+
+    def test_symmetry(self, rng):
+        alphabet = "abcd"
+        for _ in range(30):
+            a = "".join(rng.choice(list(alphabet), size=rng.integers(0, 8)))
+            b = "".join(rng.choice(list(alphabet), size=rng.integers(0, 8)))
+            assert levenshtein(a, b) == levenshtein(b, a)
+
+    def test_triangle_inequality(self, rng):
+        alphabet = "abc"
+        words = [
+            "".join(rng.choice(list(alphabet), size=rng.integers(0, 7)))
+            for _ in range(15)
+        ]
+        for x in words[:5]:
+            for y in words[5:10]:
+                for z in words[10:]:
+                    assert levenshtein(x, y) <= (
+                        levenshtein(x, z) + levenshtein(z, y)
+                    )
+
+    def test_single_edit_classes(self):
+        assert levenshtein("cat", "cats") == 1   # insertion
+        assert levenshtein("cats", "cat") == 1   # deletion
+        assert levenshtein("cat", "cut") == 1    # substitution
+
+    def test_non_string_rejected(self):
+        with pytest.raises(MetricError):
+            levenshtein(b"bytes", "str")
+
+
+class TestGenericMetricSpace:
+    def test_counts_calls(self):
+        space = GenericMetricSpace(levenshtein)
+        space.d("a", "b")
+        space.d_batch("abc", ["x", "y", "z"])
+        assert space.distance_count == 4
+
+    def test_batch_values(self):
+        space = GenericMetricSpace(levenshtein)
+        out = space.d_batch("cat", ["cat", "cut", "dog"])
+        np.testing.assert_array_equal(out, [0.0, 1.0, 3.0])
+
+    def test_reset(self):
+        space = GenericMetricSpace(levenshtein)
+        space.d("a", "b")
+        assert space.reset_counter() == 1
+        assert space.distance_count == 0
+
+    def test_works_with_any_callable(self):
+        space = GenericMetricSpace(lambda x, y: abs(x - y))
+        assert space.d(3, 7) == 4.0

@@ -1,0 +1,138 @@
+"""Unit tests for repro.wire.encoding."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.wire.encoding import Reader, Writer
+
+
+class TestScalars:
+    def test_u8_roundtrip(self):
+        data = Writer().u8(0).u8(255).getvalue()
+        reader = Reader(data)
+        assert reader.u8() == 0
+        assert reader.u8() == 255
+        reader.expect_end()
+
+    def test_u8_range_checked(self):
+        with pytest.raises(ProtocolError):
+            Writer().u8(256)
+        with pytest.raises(ProtocolError):
+            Writer().u8(-1)
+
+    def test_u32_roundtrip(self):
+        data = Writer().u32(0).u32(0xFFFFFFFF).getvalue()
+        reader = Reader(data)
+        assert reader.u32() == 0
+        assert reader.u32() == 0xFFFFFFFF
+
+    def test_u64_roundtrip(self):
+        value = 0x0123456789ABCDEF
+        assert Reader(Writer().u64(value).getvalue()).u64() == value
+
+    def test_f64_roundtrip(self):
+        for value in (0.0, -1.5, 3.14159, float("inf"), 1e-300):
+            assert Reader(Writer().f64(value).getvalue()).f64() == value
+
+    def test_boolean_roundtrip(self):
+        data = Writer().boolean(True).boolean(False).getvalue()
+        reader = Reader(data)
+        assert reader.boolean() is True
+        assert reader.boolean() is False
+
+    def test_invalid_boolean_byte(self):
+        with pytest.raises(ProtocolError):
+            Reader(b"\x02").boolean()
+
+
+class TestBlobsAndStrings:
+    def test_blob_roundtrip(self):
+        payload = b"\x00\x01binary\xff"
+        assert Reader(Writer().blob(payload).getvalue()).blob() == payload
+
+    def test_empty_blob(self):
+        assert Reader(Writer().blob(b"").getvalue()).blob() == b""
+
+    def test_string_roundtrip(self):
+        text = "unicode: žluťoučký kůň"
+        assert Reader(Writer().string(text).getvalue()).string() == text
+
+    def test_invalid_utf8_rejected(self):
+        data = Writer().blob(b"\xff\xfe").getvalue()
+        with pytest.raises(ProtocolError):
+            Reader(data).string()
+
+    def test_raw_bytes_no_prefix(self):
+        data = Writer().raw(b"abc").getvalue()
+        assert data == b"abc"
+
+
+class TestArrays:
+    def test_f64_array_roundtrip(self, rng):
+        arr = rng.normal(size=23)
+        out = Reader(Writer().f64_array(arr).getvalue()).f64_array()
+        np.testing.assert_array_equal(out, arr)
+
+    def test_i32_array_roundtrip(self, rng):
+        arr = rng.integers(-1000, 1000, size=17).astype(np.int32)
+        out = Reader(Writer().i32_array(arr).getvalue()).i32_array()
+        np.testing.assert_array_equal(out, arr)
+
+    def test_empty_arrays(self):
+        data = Writer().f64_array(np.array([])).getvalue()
+        assert Reader(data).f64_array().shape == (0,)
+
+    def test_2d_array_rejected(self):
+        with pytest.raises(ProtocolError):
+            Writer().f64_array(np.zeros((2, 2)))
+
+    def test_array_size_prefix_exact(self):
+        data = Writer().f64_array(np.zeros(3)).getvalue()
+        assert len(data) == 4 + 3 * 8
+
+
+class TestReaderSafety:
+    def test_truncated_read_raises(self):
+        with pytest.raises(ProtocolError):
+            Reader(b"\x01\x02").u32()
+
+    def test_truncated_blob_raises(self):
+        data = Writer().u32(100).getvalue()  # claims 100 bytes, has none
+        with pytest.raises(ProtocolError):
+            Reader(data).blob()
+
+    def test_expect_end_catches_trailing(self):
+        reader = Reader(Writer().u8(1).u8(2).getvalue())
+        reader.u8()
+        with pytest.raises(ProtocolError):
+            reader.expect_end()
+
+    def test_remaining_counts_down(self):
+        reader = Reader(Writer().u32(7).u32(9).getvalue())
+        assert reader.remaining() == 8
+        reader.u32()
+        assert reader.remaining() == 4
+
+    def test_mixed_message(self, rng):
+        arr = rng.normal(size=5)
+        data = (
+            Writer()
+            .string("method")
+            .u64(42)
+            .f64_array(arr)
+            .blob(b"payload")
+            .boolean(True)
+            .getvalue()
+        )
+        reader = Reader(data)
+        assert reader.string() == "method"
+        assert reader.u64() == 42
+        np.testing.assert_array_equal(reader.f64_array(), arr)
+        assert reader.blob() == b"payload"
+        assert reader.boolean() is True
+        reader.expect_end()
+
+    def test_writer_len(self):
+        writer = Writer().u32(1).blob(b"abcd")
+        assert len(writer) == 4 + 4 + 4
