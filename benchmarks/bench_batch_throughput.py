@@ -1,0 +1,161 @@
+"""Batched query engine — throughput at batch sizes 1 / 8 / 64.
+
+Not a paper table: this bench quantifies what the batched engine adds
+*on top of* the paper's one-query-at-a-time protocol, on the synthetic
+clustered dataset. For each batch size the whole query set is pushed
+through :meth:`EncryptedClient.knn_batch` in chunks and the wall-clock
+queries/sec is reported, alongside the ``plain`` and ``trivial``
+baseline batch paths for context (Tables 5–9 compare the same three
+systems per query).
+
+Where the speedup comes from (all per-query answers stay bit-identical
+to looped single-query calls):
+
+* one ``d_pairwise`` kernel for all query–pivot distances,
+* one wire message and one RPC round trip per chunk,
+* the server's vectorized promise kernel + shared bucket loads,
+* cross-query candidate deduplication on the wire, so each unique
+  candidate is decrypted once per batch (the optional LRU cache row
+  shows cross-call reuse as well).
+
+Shape target (asserted): >= 2x queries/sec at batch size 64 vs batch
+size 1.
+"""
+
+import time
+
+import numpy as np
+import pytest
+from conftest import save_result
+
+from repro.baselines.plain import build_plain
+from repro.baselines.trivial import build_trivial
+from repro.core.client import Strategy
+from repro.core.cloud import SimilarityCloud
+from repro.crypto.keys import SecretKey
+from repro.datasets.synthetic import clustered_gaussian
+from repro.metric.distances import L1Distance
+from repro.metric.space import MetricSpace
+
+N_RECORDS = 4000
+DIM = 16
+N_QUERIES = 64
+K = 10
+CAND_SIZE = 400
+BATCH_SIZES = [1, 8, 64]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    data = clustered_gaussian(N_RECORDS, DIM, np.random.default_rng(0))
+    queries = clustered_gaussian(N_QUERIES, DIM, np.random.default_rng(1))
+    return data, queries
+
+
+@pytest.fixture(scope="module")
+def encrypted_cloud(workload):
+    data, _ = workload
+    cloud = SimilarityCloud.build(
+        data,
+        distance=L1Distance(),
+        n_pivots=16,
+        bucket_capacity=100,
+        strategy=Strategy.APPROXIMATE,
+        seed=7,
+    )
+    cloud.owner.outsource(range(len(data)), data)
+    return cloud
+
+
+def _run_encrypted(cloud, queries, batch_size, cache_size):
+    client = cloud.new_client(cache_size=cache_size)
+    start = time.perf_counter()
+    results = []
+    for offset in range(0, len(queries), batch_size):
+        chunk = queries[offset : offset + batch_size]
+        results.extend(client.knn_batch(chunk, K, cand_size=CAND_SIZE))
+    elapsed = time.perf_counter() - start
+    return len(queries) / elapsed, results
+
+
+def test_batch_throughput_encrypted(encrypted_cloud, workload):
+    _, queries = workload
+    lines = [
+        "Batched query engine - approximate "
+        f"{K}-NN throughput (synthetic, {N_RECORDS} records, "
+        f"CandSize {CAND_SIZE})",
+        "",
+        f"{'variant':28s} {'batch':>5s} {'queries/s':>10s} {'speedup':>8s}",
+    ]
+    baseline_qps = None
+    reference = None
+    qps_at = {}
+    for batch_size in BATCH_SIZES:
+        qps, results = _run_encrypted(encrypted_cloud, queries, batch_size, 0)
+        qps_at[batch_size] = qps
+        if batch_size == 1:
+            baseline_qps = qps
+            reference = results
+        else:
+            # batched answers must be identical to the batch-1 answers
+            for single, batched in zip(reference, results):
+                assert [h.oid for h in single] == [h.oid for h in batched]
+                assert all(
+                    s.distance == b.distance
+                    for s, b in zip(single, batched)
+                )
+        lines.append(
+            f"{'encrypted (no cache)':28s} {batch_size:5d} {qps:10.1f} "
+            f"{qps / baseline_qps:7.2f}x"
+        )
+    cached_base = None
+    for batch_size in BATCH_SIZES:
+        qps, _ = _run_encrypted(encrypted_cloud, queries, batch_size, 4096)
+        cached_base = cached_base or qps
+        lines.append(
+            f"{'encrypted (LRU cache 4096)':28s} {batch_size:5d} {qps:10.1f} "
+            f"{qps / cached_base:7.2f}x"
+        )
+    save_result("batch_throughput", "\n".join(lines))
+    assert qps_at[64] >= 2.0 * qps_at[1], (
+        f"batch-64 throughput {qps_at[64]:.1f} q/s is below 2x the "
+        f"batch-1 throughput {qps_at[1]:.1f} q/s"
+    )
+
+
+def test_batch_throughput_baselines(workload):
+    data, queries = workload
+    space = MetricSpace(L1Distance(), DIM)
+    key = SecretKey.generate(
+        data, 16, rng=np.random.default_rng(7), space=space
+    )
+    plain_server, plain_client = build_plain(key.pivots, L1Distance(), 100)
+    plain_client.insert_many(range(len(data)), data)
+    lines = [
+        "Baseline batch paths - approximate "
+        f"{K}-NN throughput (same workload)",
+        "",
+        f"{'variant':28s} {'batch':>5s} {'queries/s':>10s}",
+    ]
+    for batch_size in BATCH_SIZES:
+        start = time.perf_counter()
+        results = []
+        for offset in range(0, len(queries), batch_size):
+            chunk = queries[offset : offset + batch_size]
+            results.extend(
+                plain_client.knn_batch(chunk, K, cand_size=CAND_SIZE)
+            )
+        qps = len(queries) / (time.perf_counter() - start)
+        lines.append(f"{'plain (server-side)':28s} {batch_size:5d} {qps:10.1f}")
+        assert len(results) == len(queries)
+    trivial_space = MetricSpace(L1Distance(), DIM)
+    _trivial_server, trivial_client = build_trivial(key, trivial_space)
+    trivial_client.insert_many(range(len(data)), data)
+    # one size is enough for the trivial row: the full-download cost
+    # dominates so the per-batch amortization is the whole story
+    start = time.perf_counter()
+    trivial_results = trivial_client.knn_batch(queries, K)
+    qps = len(queries) / (time.perf_counter() - start)
+    lines.append(f"{'trivial (download all)':28s} {N_QUERIES:5d} {qps:10.1f}")
+    assert len(trivial_results) == len(queries)
+    save_result("batch_throughput_baselines", "\n".join(lines))

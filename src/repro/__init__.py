@@ -11,7 +11,9 @@ Public API highlights
 
 * :class:`repro.SimilarityCloud` — one-call client/server deployment,
 * :class:`repro.EncryptedClient` / :class:`repro.DataOwner` — the
-  authorized roles (Algorithms 1–2),
+  authorized roles (Algorithms 1–2), including the batched engine
+  (``knn_batch`` / ``range_batch``: one round trip per query batch,
+  deduplicated candidate decryption, optional LRU candidate cache),
 * :class:`repro.SimilarityCloudServer` — the untrusted server
   (Algorithms 3–4),
 * :class:`repro.MIndex` — the underlying pivot-permutation metric index,

@@ -13,6 +13,7 @@ contain (plaintext vectors instead of AES tokens).
 
 from __future__ import annotations
 
+import threading
 from typing import Sequence
 
 import numpy as np
@@ -43,7 +44,13 @@ class PlainServer:
 
     RPC methods: ``insert_plain`` (raw vectors; the server computes
     pivot distances itself), ``knn_plain`` (full search + refinement
-    server-side, returns the answer set), ``range_plain``, ``stats``.
+    server-side, returns the answer set), ``range_plain``, ``stats``,
+    plus the generic ``search_batch`` fan-out so
+    :meth:`PlainClient.knn_batch` can ship a whole query batch in one
+    message. Handlers serialize on a mutex — the plain server computes
+    distances and charges its own cost recorder, neither of which is
+    concurrency-safe, and as the comparison baseline it should not gain
+    or lose time to locking subtleties.
     """
 
     def __init__(
@@ -55,6 +62,7 @@ class PlainServer:
         storage=None,
         max_level: int = 8,
         clock: Clock | None = None,
+        max_workers: int = 8,
     ) -> None:
         pivots = np.asarray(pivots, dtype=np.float64)
         self.pivots = pivots
@@ -64,11 +72,13 @@ class PlainServer:
             pivots.shape[0], bucket_capacity, self.storage, max_level=max_level
         )
         self.costs = CostRecorder()
+        self._mutex = threading.Lock()
         self.dispatcher = RpcDispatcher(clock=clock)
         self.dispatcher.register("insert_plain", self._handle_insert)
         self.dispatcher.register("knn_plain", self._handle_knn)
         self.dispatcher.register("range_plain", self._handle_range)
         self.dispatcher.register("stats", self._handle_stats)
+        self.dispatcher.enable_batch(max_workers=max_workers)
 
     def handle(self, request: bytes) -> bytes:
         """Raw request entry point, pluggable into any channel."""
@@ -91,30 +101,35 @@ class PlainServer:
         self.space.reset_counter()
         self.storage.reset_accounting()
 
+    def close(self) -> None:
+        """Release the dispatcher's batch thread pool."""
+        self.dispatcher.close()
+
     # -- handlers ------------------------------------------------------------
 
     def _handle_insert(self, body: Reader) -> Writer:
         count = body.u32()
         dim = self.pivots.shape[1]
-        for _ in range(count):
-            oid = body.u64()
-            vector = body.f64_array()
-            if vector.shape[0] != dim:
-                raise QueryError(
-                    f"vector of dim {vector.shape[0]} does not match "
-                    f"index dim {dim}"
+        with self._mutex:
+            for _ in range(count):
+                oid = body.u64()
+                vector = body.f64_array()
+                if vector.shape[0] != dim:
+                    raise QueryError(
+                        f"vector of dim {vector.shape[0]} does not match "
+                        f"index dim {dim}"
+                    )
+                with self.costs.time(DISTANCE):
+                    distances = self.space.d_batch(vector, self.pivots)
+                record = IndexedRecord(
+                    oid,
+                    pivot_permutation(distances),
+                    distances,
+                    vector_to_payload(vector),
                 )
-            with self.costs.time(DISTANCE):
-                distances = self.space.d_batch(vector, self.pivots)
-            record = IndexedRecord(
-                oid,
-                pivot_permutation(distances),
-                distances,
-                vector_to_payload(vector),
-            )
-            self.index.insert(record)
-        body.expect_end()
-        return Writer().u64(len(self.index))
+                self.index.insert(record)
+            body.expect_end()
+            return Writer().u64(len(self.index))
 
     def _handle_knn(self, body: Reader) -> Writer:
         query = body.f64_array()
@@ -126,28 +141,30 @@ class PlainServer:
             raise QueryError(
                 f"invalid k={k} / cand_size={cand_size} combination"
             )
-        with self.costs.time(DISTANCE):
-            q_dists = self.space.d_batch(query, self.pivots)
-        permutation = pivot_permutation(q_dists)
-        candidates = self.index.approx_knn_candidates(
-            permutation,
-            cand_size,
-            max_cells=max_cells if max_cells > 0 else None,
-        )
-        hits = self._refine(query, candidates)
+        with self._mutex:
+            with self.costs.time(DISTANCE):
+                q_dists = self.space.d_batch(query, self.pivots)
+            permutation = pivot_permutation(q_dists)
+            candidates = self.index.approx_knn_candidates(
+                permutation,
+                cand_size,
+                max_cells=max_cells if max_cells > 0 else None,
+            )
+            hits = self._refine(query, candidates)
         return _write_answers(hits[:k])
 
     def _handle_range(self, body: Reader) -> Writer:
         query = body.f64_array()
         radius = body.f64()
         body.expect_end()
-        with self.costs.time(DISTANCE):
-            q_dists = self.space.d_batch(query, self.pivots)
-        candidates = self.index.range_search(q_dists, radius)
-        hits = [
-            hit for hit in self._refine(query, candidates)
-            if hit.distance <= radius
-        ]
+        with self._mutex:
+            with self.costs.time(DISTANCE):
+                q_dists = self.space.d_batch(query, self.pivots)
+            candidates = self.index.range_search(q_dists, radius)
+            hits = [
+                hit for hit in self._refine(query, candidates)
+                if hit.distance <= radius
+            ]
         return _write_answers(hits)
 
     def _refine(
@@ -169,7 +186,8 @@ class PlainServer:
 
     def _handle_stats(self, body: Reader) -> Writer:
         body.expect_end()
-        stats = self.index.statistics()
+        with self._mutex:
+            stats = self.index.statistics()
         writer = Writer()
         writer.u32(len(stats))
         for key, value in sorted(stats.items()):
@@ -266,6 +284,61 @@ class PlainClient:
         reader = self.rpc.call("range_plain", writer)
         with self.costs.time(CLIENT):
             return _read_answers(reader)
+
+    # -- batched queries ---------------------------------------------------
+
+    def knn_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        *,
+        cand_size: int,
+        max_cells: int | None = None,
+    ) -> list[list[SearchHit]]:
+        """Approximate k-NN for a query batch in one ``search_batch``
+        round trip; per-query answers equal looped :meth:`knn_search`
+        calls (this baseline has no client-side work to amortize, so
+        batching only saves round trips)."""
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim == 1:
+            queries = queries.reshape(1, -1)
+        if queries.shape[0] == 0:
+            return []
+        with self.costs.time(CLIENT):
+            bodies = []
+            for query in queries:
+                writer = Writer()
+                writer.f64_array(query)
+                writer.u32(k)
+                writer.u32(cand_size)
+                writer.u32(max_cells if max_cells is not None else 0)
+                bodies.append(writer)
+        readers = self.rpc.call_batch("knn_plain", bodies)
+        with self.costs.time(CLIENT):
+            return [_read_answers(reader) for reader in readers]
+
+    def range_batch(
+        self, queries: np.ndarray, radius: float
+    ) -> list[list[SearchHit]]:
+        """Precise range queries for a batch sharing one radius, in one
+        ``search_batch`` round trip."""
+        if radius < 0:
+            raise QueryError(f"radius must be >= 0, got {radius}")
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim == 1:
+            queries = queries.reshape(1, -1)
+        if queries.shape[0] == 0:
+            return []
+        with self.costs.time(CLIENT):
+            bodies = []
+            for query in queries:
+                writer = Writer()
+                writer.f64_array(query)
+                writer.f64(radius)
+                bodies.append(writer)
+        readers = self.rpc.call_batch("range_plain", bodies)
+        with self.costs.time(CLIENT):
+            return [_read_answers(reader) for reader in readers]
 
     def report(self) -> CostReport:
         """Cost snapshot (client side + server view + channel)."""

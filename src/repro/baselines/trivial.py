@@ -134,7 +134,75 @@ class TrivialClient:
         hits = self._download_and_refine(query)
         return [hit for hit in hits if hit.distance <= radius]
 
+    # -- batched queries ---------------------------------------------------
+
+    def knn_batch(
+        self, queries: np.ndarray, k: int
+    ) -> list[list[SearchHit]]:
+        """Exact k-NN for a query batch from a *single* full download.
+
+        For this baseline, batching is the natural amortization: the
+        catastrophic download + decryption cost is paid once for the
+        whole batch instead of once per query, and all query–object
+        distances come out of one ``d_pairwise`` call. Per-query answers
+        equal looped :meth:`knn_search` calls.
+        """
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        return [hits[:k] for hits in self._download_and_refine_batch(queries)]
+
+    def range_batch(
+        self, queries: np.ndarray, radius: float
+    ) -> list[list[SearchHit]]:
+        """Exact range queries for a batch sharing one radius, from a
+        single full download."""
+        if radius < 0:
+            raise QueryError(f"radius must be >= 0, got {radius}")
+        return [
+            [hit for hit in hits if hit.distance <= radius]
+            for hits in self._download_and_refine_batch(queries)
+        ]
+
     def _download_and_refine(self, query: np.ndarray) -> list[SearchHit]:
+        oids, vectors = self._download()
+        if not oids:
+            return []
+        with self.costs.time(CLIENT):
+            with self.costs.time(DISTANCE):
+                distances = self.space.d_batch(query, vectors)
+            hits = [
+                SearchHit(oid, vector, float(dist))
+                for oid, vector, dist in zip(oids, vectors, distances)
+            ]
+            hits.sort(key=lambda hit: (hit.distance, hit.oid))
+        return hits
+
+    def _download_and_refine_batch(
+        self, queries: np.ndarray
+    ) -> list[list[SearchHit]]:
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim == 1:
+            queries = queries.reshape(1, -1)
+        if queries.shape[0] == 0:
+            return []
+        oids, vectors = self._download()
+        if not oids:
+            return [[] for _ in range(queries.shape[0])]
+        results: list[list[SearchHit]] = []
+        with self.costs.time(CLIENT):
+            with self.costs.time(DISTANCE):
+                distance_matrix = self.space.d_pairwise(queries, vectors)
+            for row in distance_matrix:
+                hits = [
+                    SearchHit(oid, vector, float(dist))
+                    for oid, vector, dist in zip(oids, vectors, row)
+                ]
+                hits.sort(key=lambda hit: (hit.distance, hit.oid))
+                results.append(hits)
+        return results
+
+    def _download(self) -> tuple[list[int], np.ndarray | None]:
+        """Fetch and decrypt the whole collection (the baseline's cost)."""
         reader = self.rpc.call("fetch_all")
         with self.costs.time(CLIENT):
             count = reader.u32()
@@ -145,18 +213,11 @@ class TrivialClient:
                 tokens.append(reader.blob())
             reader.expect_end()
             if not tokens:
-                return []
+                return [], None
             with self.costs.time(DECRYPTION):
                 plaintexts = self.secret_key.cipher.decrypt_many(tokens)
                 vectors = np.stack([payload_to_vector(p) for p in plaintexts])
-            with self.costs.time(DISTANCE):
-                distances = self.space.d_batch(query, vectors)
-            hits = [
-                SearchHit(oid, vector, float(dist))
-                for oid, vector, dist in zip(oids, vectors, distances)
-            ]
-            hits.sort(key=lambda hit: (hit.distance, hit.oid))
-        return hits
+        return oids, vectors
 
     def report(self) -> CostReport:
         """Cost snapshot in the paper's components."""

@@ -12,6 +12,16 @@ cipher key — and therefore performs everything the server must not:
 Every one of those steps is charged to the cost components the paper
 reports: client / encryption / decryption / distance-computation time.
 
+Beyond the paper's one-query-at-a-time protocol, the client offers a
+**batched** search path (:meth:`EncryptedClient.knn_batch`,
+:meth:`EncryptedClient.range_batch`): all query–pivot distances of a
+batch come out of one ``d_pairwise`` matrix call, the whole batch
+travels in a single wire message, and refinement decrypts each unique
+candidate once — the server deduplicates candidates shared by several
+queries, and an LRU cache of decrypted payloads (keyed by record id)
+carries reuse across calls. Batched searches return exactly the same
+hits as looped single-query calls.
+
 :class:`DataOwner` is the construction-phase role: it generates the
 secret key and bulk-outsources the collection; afterwards it hands the
 key to authorized clients (here: :meth:`DataOwner.authorize`).
@@ -21,12 +31,15 @@ from __future__ import annotations
 
 import enum
 import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from repro.core.costs import (
+    CACHE_HITS,
+    CACHE_MISSES,
     CLIENT,
     DECRYPTION,
     DISTANCE,
@@ -43,12 +56,58 @@ from repro.core.records import (
 from repro.crypto.keys import SecretKey
 from repro.crypto.ope import OrderPreservingEncryption
 from repro.exceptions import QueryError
-from repro.metric.permutations import pivot_permutation
+from repro.metric.permutations import pivot_permutation, pivot_permutations
 from repro.metric.space import MetricSpace
 from repro.net.rpc import RpcClient
 from repro.wire.encoding import Reader, Writer
 
 __all__ = ["Strategy", "SearchHit", "EncryptedClient", "DataOwner"]
+
+
+class _CandidateCache:
+    """LRU cache of decrypted candidate payloads, keyed by record id.
+
+    Entries remember the ciphertext they were decrypted from: a lookup
+    only hits when the incoming payload matches bit for bit, so a
+    record that was deleted and re-inserted under the same oid with new
+    content can never serve a stale plaintext.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise QueryError(
+                f"cache capacity must be positive, got {capacity}"
+            )
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[int, tuple[bytes, np.ndarray]] = (
+            OrderedDict()
+        )
+
+    def get(self, oid: int, payload: bytes) -> np.ndarray | None:
+        """The cached plaintext vector, or None on miss."""
+        entry = self._entries.get(oid)
+        if entry is None or entry[0] != payload:
+            return None
+        self._entries.move_to_end(oid)
+        return entry[1]
+
+    def put(self, oid: int, payload: bytes, vector: np.ndarray) -> None:
+        """Insert/refresh an entry, evicting the least recently used."""
+        self._entries[oid] = (payload, vector)
+        self._entries.move_to_end(oid)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate(self, oid: int) -> None:
+        """Drop one record's entry (after a delete)."""
+        self._entries.pop(oid, None)
+
+    def clear(self) -> None:
+        """Drop all entries."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 class Strategy(enum.Enum):
@@ -94,6 +153,13 @@ class EncryptedClient:
     strategy:
         Which representation inserts produce (must match across all
         writers of one index).
+    cache_size:
+        Capacity (in records) of the LRU cache of decrypted candidate
+        payloads; the default ``0`` disables caching, matching the
+        paper's stateless per-query protocol (so reproduction sweeps
+        measure what the paper measured). Enable it for throughput
+        workloads: hits skip AES decryption and are counted separately
+        so the cost breakdown still reconciles.
     """
 
     def __init__(
@@ -103,12 +169,14 @@ class EncryptedClient:
         rpc: RpcClient,
         *,
         strategy: Strategy = Strategy.APPROXIMATE,
+        cache_size: int = 0,
     ) -> None:
         self.secret_key = secret_key
         self.space = space
         self.rpc = rpc
         self.strategy = strategy
         self.costs = CostRecorder()
+        self.cache = _CandidateCache(cache_size) if cache_size else None
         self._ope: OrderPreservingEncryption | None = None
 
     @property
@@ -219,6 +287,8 @@ class EncryptedClient:
             )
             writer = Writer()
             record.write_to(writer)
+        if self.cache is not None:
+            self.cache.invalidate(oid)
         return self.rpc.call("delete", writer).boolean()
 
     # ------------------------------------------------------------------
@@ -327,8 +397,156 @@ class EncryptedClient:
         return hits[:k]
 
     # ------------------------------------------------------------------
+    # batched search (amortized Algorithm 2)
+    # ------------------------------------------------------------------
+
+    def knn_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        *,
+        cand_size: int,
+        max_cells: int | None = None,
+        refine_limit: int | None = None,
+    ) -> list[list[SearchHit]]:
+        """Approximate k-NN for a whole batch of queries at once.
+
+        Returns one hit list per query row, each exactly equal to
+        ``knn_search(query, k, ...)`` — but the batch computes all
+        query–pivot distances in one :meth:`MetricSpace.d_pairwise`
+        call, travels as a single wire message, is answered by the
+        server's vectorized batch search, and decrypts every unique
+        candidate only once (the response deduplicates candidates
+        shared between queries; the LRU cache carries reuse across
+        calls).
+        """
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        if cand_size < k:
+            raise QueryError(
+                f"cand_size ({cand_size}) must be at least k ({k})"
+            )
+        query_matrix = self._as_query_matrix(queries)
+        if query_matrix.shape[0] == 0:
+            return []
+        with self.costs.time(CLIENT):
+            with self.costs.time(DISTANCE):
+                distance_matrix = self.space.d_pairwise(
+                    query_matrix, self.secret_key.pivots
+                )
+            permutations = pivot_permutations(distance_matrix)
+            writer = Writer()
+            writer.i32_matrix(permutations)
+            writer.u32(cand_size)
+            writer.u32(max_cells if max_cells is not None else 0)
+        reader = self.rpc.call("knn_batch", writer)
+        results = self._refine_batch(
+            query_matrix, reader, refine_limit=refine_limit
+        )
+        for hits in results:
+            hits.sort(key=lambda hit: (hit.distance, hit.oid))
+        return [hits[:k] for hits in results]
+
+    def range_batch(
+        self, queries: np.ndarray, radius: float
+    ) -> list[list[SearchHit]]:
+        """Precise range queries ``R(q, r)`` for a batch sharing one
+        radius; per-query hits are identical to looped
+        :meth:`range_search` calls.
+
+        Requires the PRECISE or TRANSFORMED strategy, like
+        :meth:`range_search`; under TRANSFORMED the request carries the
+        per-pivot transformed interval *matrices* of the whole batch.
+        """
+        if radius < 0:
+            raise QueryError(f"radius must be >= 0, got {radius}")
+        if self.strategy is Strategy.APPROXIMATE:
+            raise QueryError(
+                "range queries require the PRECISE or TRANSFORMED "
+                "strategy (the server stores no pivot distances under "
+                "APPROXIMATE)"
+            )
+        query_matrix = self._as_query_matrix(queries)
+        if query_matrix.shape[0] == 0:
+            return []
+        with self.costs.time(CLIENT):
+            with self.costs.time(DISTANCE):
+                distance_matrix = self.space.d_pairwise(
+                    query_matrix, self.secret_key.pivots
+                )
+            if self.strategy is Strategy.TRANSFORMED:
+                with self.costs.time(ENCRYPTION):
+                    lows = np.asarray(
+                        self.ope.encrypt(
+                            np.maximum(distance_matrix - radius, 0.0)
+                        )
+                    )
+                    if radius == float("inf"):
+                        highs = np.full_like(distance_matrix, np.inf)
+                    else:
+                        highs = np.asarray(
+                            self.ope.encrypt(distance_matrix + radius)
+                        )
+                method = "range_transformed_batch"
+                writer = Writer().f64_matrix(lows).f64_matrix(highs)
+            else:
+                method = "range_batch"
+                writer = Writer().f64_matrix(distance_matrix).f64(radius)
+        reader = self.rpc.call(method, writer)
+        results = self._refine_batch(query_matrix, reader, radius=radius)
+        for hits in results:
+            hits.sort(key=lambda hit: (hit.distance, hit.oid))
+        return results
+
+    @staticmethod
+    def _as_query_matrix(queries: np.ndarray) -> np.ndarray:
+        matrix = np.asarray(queries, dtype=np.float64)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(1, -1)
+        if matrix.ndim != 2:
+            raise QueryError(
+                f"queries must form a 2-D matrix, got shape {matrix.shape}"
+            )
+        return matrix
+
+    # ------------------------------------------------------------------
     # refinement (Algorithm 2 lines 11–16)
     # ------------------------------------------------------------------
+
+    def _decrypt_candidates(
+        self, pairs: list[tuple[int, bytes]]
+    ) -> np.ndarray:
+        """Plaintext vectors for (oid, payload) pairs, via the LRU cache.
+
+        Only cache misses are decrypted (in one vectorized AES call) and
+        charged to decryption time; hit/miss counters record exactly how
+        many candidates skipped decryption.
+        """
+        vectors: list[np.ndarray | None] = [None] * len(pairs)
+        if self.cache is not None:
+            misses = []
+            for position, (oid, payload) in enumerate(pairs):
+                cached = self.cache.get(oid, payload)
+                if cached is None:
+                    misses.append(position)
+                else:
+                    vectors[position] = cached
+            self.costs.add_count(CACHE_HITS, len(pairs) - len(misses))
+            self.costs.add_count(CACHE_MISSES, len(misses))
+        else:
+            misses = list(range(len(pairs)))
+        if misses:
+            with self.costs.time(DECRYPTION):
+                plaintexts = self.secret_key.cipher.decrypt_many(
+                    [pairs[position][1] for position in misses]
+                )
+            for position, plaintext in zip(misses, plaintexts):
+                vector = payload_to_vector(plaintext)
+                vectors[position] = vector
+                if self.cache is not None:
+                    oid, payload = pairs[position]
+                    self.cache.put(oid, payload, vector)
+        return np.stack(vectors)
 
     def _refine(
         self,
@@ -346,13 +564,9 @@ class EncryptedClient:
             reader.expect_end()
             head = entries[:limit]
             if head:
-                with self.costs.time(DECRYPTION):
-                    plaintexts = self.secret_key.cipher.decrypt_many(
-                        [entry.payload for entry in head]
-                    )
-                    candidates = np.stack(
-                        [payload_to_vector(p) for p in plaintexts]
-                    )
+                candidates = self._decrypt_candidates(
+                    [(entry.oid, entry.payload) for entry in head]
+                )
                 with self.costs.time(DISTANCE):
                     distances = self.space.d_batch(query, candidates)
                 for entry, vector, distance in zip(
@@ -365,6 +579,83 @@ class EncryptedClient:
             self.costs.add_count("candidates_received", count)
             self.costs.add_count("candidates_refined", limit)
         return hits
+
+    def _refine_batch(
+        self,
+        queries: np.ndarray,
+        reader: Reader,
+        *,
+        radius: float | None = None,
+        refine_limit: int | None = None,
+    ) -> list[list[SearchHit]]:
+        """Bulk refinement of a deduplicated batch response.
+
+        The wire format is a table of unique (oid, payload) candidates
+        followed by one index list per query (rank order). The union of
+        all refined heads is decrypted in a single pass; each query then
+        computes true distances against its own candidate rows.
+        """
+        with self.costs.time(CLIENT):
+            n_unique = reader.u32()
+            unique = [
+                (reader.u64(), reader.blob()) for _ in range(n_unique)
+            ]
+            n_queries = reader.u32()
+            if n_queries != queries.shape[0]:
+                raise QueryError(
+                    f"batch response carries {n_queries} result lists "
+                    f"for {queries.shape[0]} queries"
+                )
+            index_lists = [reader.i32_array() for _ in range(n_queries)]
+            reader.expect_end()
+            heads = []
+            needed: list[int] = []
+            needed_position: dict[int, int] = {}
+            for indices in index_lists:
+                if len(indices) and (
+                    indices.min() < 0 or indices.max() >= n_unique
+                ):
+                    raise QueryError(
+                        "batch response references candidates outside "
+                        "the unique table"
+                    )
+                limit = (
+                    len(indices)
+                    if refine_limit is None
+                    else min(refine_limit, len(indices))
+                )
+                head = [int(index) for index in indices[:limit]]
+                heads.append(head)
+                for index in head:
+                    if index not in needed_position:
+                        needed_position[index] = len(needed)
+                        needed.append(index)
+            vectors = (
+                self._decrypt_candidates([unique[i] for i in needed])
+                if needed
+                else None
+            )
+            results: list[list[SearchHit]] = []
+            for query, indices, head in zip(queries, index_lists, heads):
+                hits: list[SearchHit] = []
+                if head:
+                    assert vectors is not None
+                    rows = vectors[[needed_position[i] for i in head]]
+                    with self.costs.time(DISTANCE):
+                        distances = self.space.d_batch(query, rows)
+                    for index, vector, distance in zip(
+                        head, rows, distances
+                    ):
+                        if radius is None or distance <= radius:
+                            hits.append(
+                                SearchHit(
+                                    unique[index][0], vector, float(distance)
+                                )
+                            )
+                self.costs.add_count("candidates_received", len(indices))
+                self.costs.add_count("candidates_refined", len(head))
+                results.append(hits)
+        return results
 
     # ------------------------------------------------------------------
     # accounting
@@ -383,6 +674,9 @@ class EncryptedClient:
             extras={
                 "distance_computations": self.space.distance_count,
                 "candidates_received": self.costs.count("candidates_received"),
+                "candidates_refined": self.costs.count("candidates_refined"),
+                CACHE_HITS: self.costs.count(CACHE_HITS),
+                CACHE_MISSES: self.costs.count(CACHE_MISSES),
             },
         )
 

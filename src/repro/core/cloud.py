@@ -120,24 +120,36 @@ class SimilarityCloud:
         return RpcClient(channel)
 
     def new_client(
-        self, secret_key: SecretKey | None = None
+        self,
+        secret_key: SecretKey | None = None,
+        *,
+        cache_size: int = 0,
     ) -> EncryptedClient:
         """Create an authorized client with its own channel and space.
 
         Defaults to the owner's key (i.e. the owner authorizes the
         client); pass an explicit key to model key distribution.
+        ``cache_size`` bounds the client's LRU cache of decrypted
+        candidates (default 0 = disabled, the paper's stateless
+        protocol).
         """
         key = secret_key if secret_key is not None else self.owner.authorize()
         space = MetricSpace(self._distance, self._dimension)
         return EncryptedClient(
-            key, space, self._new_rpc(), strategy=self.owner.client.strategy
+            key,
+            space,
+            self._new_rpc(),
+            strategy=self.owner.client.strategy,
+            cache_size=cache_size,
         )
 
     def close(self) -> None:
-        """Shut down the TCP server, when one was started."""
+        """Shut down the TCP server (when one was started) and release
+        the server's batch thread pool."""
         if self._tcp_server is not None:
             self._tcp_server.shutdown()
             self._tcp_server = None
+        self.server.close()
 
     def __enter__(self) -> "SimilarityCloud":
         return self

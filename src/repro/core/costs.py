@@ -26,6 +26,8 @@ __all__ = [
     "ENCRYPTION",
     "DECRYPTION",
     "DISTANCE",
+    "CACHE_HITS",
+    "CACHE_MISSES",
     "CostRecorder",
     "CostReport",
     "CostTimer",
@@ -36,6 +38,13 @@ CLIENT = "client"
 ENCRYPTION = "encryption"
 DECRYPTION = "decryption"
 DISTANCE = "distance"
+
+#: canonical counter names of the client's decrypted-candidate cache.
+#: Decryption time is charged only for misses, so the paper's cost
+#: breakdown still reconciles: every charged decryption corresponds to
+#: exactly one cache miss (or to a client with the cache disabled).
+CACHE_HITS = "cache_hits"
+CACHE_MISSES = "cache_misses"
 
 
 class CostRecorder:

@@ -1,0 +1,81 @@
+"""Synchronization primitives for the concurrent query engine.
+
+The similarity server's workload is read-heavy: searches only traverse
+the cell tree and load buckets, while inserts/deletes restructure the
+tree (leaf splits). :class:`ReadWriteLock` lets any number of search
+handlers run concurrently — one thread per query of a batch, or one per
+TCP client — while writers get exclusive access and cannot be starved
+(writer preference: once a writer waits, new readers queue behind it).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["ReadWriteLock"]
+
+
+class ReadWriteLock:
+    """A writer-preference read–write lock.
+
+    ``read()`` sections may overlap each other; ``write()`` sections are
+    exclusive against both readers and other writers. Not reentrant —
+    a thread must not acquire the lock again while holding it.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active_readers = 0
+        self._active_writer = False
+        self._waiting_writers = 0
+
+    def acquire_read(self) -> None:
+        """Block until no writer is active or waiting, then enter."""
+        with self._cond:
+            while self._active_writer or self._waiting_writers:
+                self._cond.wait()
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        """Leave a read section, waking writers when the last one exits."""
+        with self._cond:
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        """Block until exclusive access is available, then enter."""
+        with self._cond:
+            self._waiting_writers += 1
+            try:
+                while self._active_writer or self._active_readers:
+                    self._cond.wait()
+            finally:
+                self._waiting_writers -= 1
+            self._active_writer = True
+
+    def release_write(self) -> None:
+        """Leave the exclusive section and wake all waiters."""
+        with self._cond:
+            self._active_writer = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """Context manager for a shared (read) section."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """Context manager for an exclusive (write) section."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

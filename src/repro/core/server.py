@@ -6,11 +6,12 @@ pivots, no metric function and no plaintext**. Its entire knowledge is
 what §4.3 says may leak to an attacker: encrypted payloads plus pivot
 permutations (or object–pivot distances under the precise strategy).
 
-The server exposes four RPC methods:
+The server exposes these RPC methods:
 
-``insert``
-    Bulk insert of wire records (Algorithm 1's server part: locate the
-    cell tree leaf, store, split if needed).
+``insert`` / ``delete``
+    Index maintenance from wire records (Algorithm 1's server part:
+    locate the cell tree leaf, store, split if needed). Writers — they
+    take the exclusive side of the server's read–write lock.
 ``range``
     Algorithm 3 — candidate set of a range query from query–pivot
     distances, after tree pruning and pivot filtering.
@@ -21,14 +22,29 @@ The server exposes four RPC methods:
 ``approx_knn``
     Algorithm 4 — pre-ranked candidate set of a given size from the
     query permutation, optionally restricted to a number of cells.
+``knn_batch`` / ``range_batch`` / ``range_transformed_batch``
+    Batched forms of the three searches: one wire message carries a
+    whole query batch (permutation/distance *matrices*), the index
+    answers all queries with shared bucket loads and one vectorized
+    promise kernel, and the response deduplicates candidates that occur
+    in several queries' sets — each unique (oid, payload) travels once,
+    followed by per-query index lists in rank order.
+``search_batch``
+    Generic batching (``RpcDispatcher.enable_batch``): many request
+    bodies for one inner method, fanned out over a thread pool.
 ``stats``
     Index statistics (diagnostics; not part of any measured phase).
+
+Concurrency: searches are read-only, so all search handlers take the
+shared side of a :class:`~repro.core.locks.ReadWriteLock` and may run
+concurrently (thread-per-connection TCP clients, thread-pool batch
+fan-out); ``insert``/``delete`` serialize exclusively so no reader can
+observe a half-split cell tree.
 """
 
 from __future__ import annotations
 
-import threading
-
+from repro.core.locks import ReadWriteLock
 from repro.core.records import CandidateEntry, IndexedRecord
 from repro.exceptions import QueryError
 from repro.mindex.index import MIndex
@@ -56,6 +72,8 @@ class SimilarityCloudServer:
         Maximum cell-tree depth.
     clock:
         Clock used for the dispatcher's server-time accounting.
+    max_workers:
+        Thread-pool width of the generic ``search_batch`` fan-out.
     """
 
     def __init__(
@@ -66,14 +84,14 @@ class SimilarityCloudServer:
         storage=None,
         max_level: int = 8,
         clock: Clock | None = None,
+        max_workers: int = 8,
     ) -> None:
         self.storage = storage if storage is not None else MemoryStorage()
         self.index = MIndex(
             n_pivots, bucket_capacity, self.storage, max_level=max_level
         )
-        # one request at a time: the TCP server is threaded (one thread
-        # per client connection) while the index mutates on insert
-        self._lock = threading.Lock()
+        # searches share the lock; insert/delete take it exclusively
+        self._lock = ReadWriteLock()
         self.dispatcher = RpcDispatcher(clock=clock)
         self.dispatcher.register("insert", self._handle_insert)
         self.dispatcher.register("delete", self._handle_delete)
@@ -82,18 +100,25 @@ class SimilarityCloudServer:
             "range_transformed", self._handle_range_transformed
         )
         self.dispatcher.register("approx_knn", self._handle_approx_knn)
+        self.dispatcher.register("knn_batch", self._handle_knn_batch)
+        self.dispatcher.register("range_batch", self._handle_range_batch)
+        self.dispatcher.register(
+            "range_transformed_batch", self._handle_range_transformed_batch
+        )
         self.dispatcher.register("stats", self._handle_stats)
+        self.dispatcher.enable_batch(max_workers=max_workers)
 
     # -- channel plumbing -------------------------------------------------
 
     def handle(self, request: bytes) -> bytes:
         """Raw request entry point, pluggable into any channel.
 
-        Serialized with a lock so concurrent TCP clients cannot observe
-        a half-split cell tree.
+        Locking happens per handler (read for searches, write for index
+        maintenance), so concurrent TCP clients and thread-pool batch
+        workers can search simultaneously while never observing a
+        half-split cell tree.
         """
-        with self._lock:
-            return self.dispatcher.handle(request)
+        return self.dispatcher.handle(request)
 
     @property
     def server_time(self) -> float:
@@ -105,35 +130,48 @@ class SimilarityCloudServer:
         self.dispatcher.reset_accounting()
         self.storage.reset_accounting()
 
+    def close(self) -> None:
+        """Release the dispatcher's batch thread pool."""
+        self.dispatcher.close()
+
     # -- handlers ------------------------------------------------------------
 
     def _handle_insert(self, body: Reader) -> Writer:
         count = body.u32()
+        records = []
         for _ in range(count):
             record = IndexedRecord.read_from(body)
             record.ensure_permutation()
-            self.index.insert(record)
+            records.append(record)
         body.expect_end()
-        return Writer().u64(len(self.index))
+        with self._lock.write():
+            for record in records:
+                self.index.insert(record)
+            return Writer().u64(len(self.index))
 
     def _handle_delete(self, body: Reader) -> Writer:
         record = IndexedRecord.read_from(body)
         body.expect_end()
-        removed = self.index.delete(record.oid, record.ensure_permutation())
+        with self._lock.write():
+            removed = self.index.delete(
+                record.oid, record.ensure_permutation()
+            )
         return Writer().boolean(removed)
 
     def _handle_range(self, body: Reader) -> Writer:
         distances = body.f64_array()
         radius = body.f64()
         body.expect_end()
-        candidates = self.index.range_search(distances, radius)
+        with self._lock.read():
+            candidates = self.index.range_search(distances, radius)
         return _write_candidates(candidates)
 
     def _handle_range_transformed(self, body: Reader) -> Writer:
         lows = body.f64_array()
         highs = body.f64_array()
         body.expect_end()
-        candidates = self.index.range_search_transformed(lows, highs)
+        with self._lock.read():
+            candidates = self.index.range_search_transformed(lows, highs)
         return _write_candidates(candidates)
 
     def _handle_approx_knn(self, body: Reader) -> Writer:
@@ -143,16 +181,51 @@ class SimilarityCloudServer:
         body.expect_end()
         if cand_size == 0:
             raise QueryError("cand_size must be positive")
-        candidates = self.index.approx_knn_candidates(
-            permutation,
-            cand_size,
-            max_cells=max_cells if max_cells > 0 else None,
-        )
+        with self._lock.read():
+            candidates = self.index.approx_knn_candidates(
+                permutation,
+                cand_size,
+                max_cells=max_cells if max_cells > 0 else None,
+            )
         return _write_candidates(candidates)
+
+    def _handle_knn_batch(self, body: Reader) -> Writer:
+        permutations = body.i32_matrix()
+        cand_size = body.u32()
+        max_cells = body.u32()
+        body.expect_end()
+        if cand_size == 0:
+            raise QueryError("cand_size must be positive")
+        with self._lock.read():
+            candidate_lists = self.index.approx_knn_candidates_batch(
+                permutations,
+                cand_size,
+                max_cells=max_cells if max_cells > 0 else None,
+            )
+        return _write_candidate_lists(candidate_lists)
+
+    def _handle_range_batch(self, body: Reader) -> Writer:
+        distances = body.f64_matrix()
+        radius = body.f64()
+        body.expect_end()
+        with self._lock.read():
+            candidate_lists = self.index.range_search_batch(distances, radius)
+        return _write_candidate_lists(candidate_lists)
+
+    def _handle_range_transformed_batch(self, body: Reader) -> Writer:
+        lows = body.f64_matrix()
+        highs = body.f64_matrix()
+        body.expect_end()
+        with self._lock.read():
+            candidate_lists = self.index.range_search_transformed_batch(
+                lows, highs
+            )
+        return _write_candidate_lists(candidate_lists)
 
     def _handle_stats(self, body: Reader) -> Writer:
         body.expect_end()
-        stats = self.index.statistics()
+        with self._lock.read():
+            stats = self.index.statistics()
         writer = Writer()
         writer.u32(len(stats))
         for key, value in sorted(stats.items()):
@@ -167,4 +240,38 @@ def _write_candidates(candidates: list[IndexedRecord]) -> Writer:
     writer.u32(len(candidates))
     for record in candidates:
         CandidateEntry(record.oid, record.payload).write_to(writer)
+    return writer
+
+
+def _write_candidate_lists(
+    candidate_lists: list[list[IndexedRecord]],
+) -> Writer:
+    """Encode a batch of candidate sets with cross-query deduplication.
+
+    Candidate sets of a batch overlap heavily (nearby queries visit the
+    same cells), so each unique (oid, payload) travels once; every query
+    then gets a list of indices into that table, in its rank order. The
+    client decrypts the unique table once instead of once per query.
+    """
+    writer = Writer()
+    order: dict[int, int] = {}
+    uniques: list[IndexedRecord] = []
+    index_lists: list[list[int]] = []
+    for records in candidate_lists:
+        indices: list[int] = []
+        for record in records:
+            position = order.get(record.oid)
+            if position is None:
+                position = len(uniques)
+                order[record.oid] = position
+                uniques.append(record)
+            indices.append(position)
+        index_lists.append(indices)
+    writer.u32(len(uniques))
+    for record in uniques:
+        writer.u64(record.oid)
+        writer.blob(record.payload)
+    writer.u32(len(index_lists))
+    for indices in index_lists:
+        writer.i32_array(indices)
     return writer

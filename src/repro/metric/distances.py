@@ -1,12 +1,17 @@
 """Distance functions over numeric vectors.
 
 All distances operate on one-dimensional :class:`numpy.ndarray` vectors of
-``float64`` and expose two entry points:
+``float64`` and expose three entry points:
 
 * ``d(x, y)`` — single pair, returns a Python ``float``;
 * ``d.batch(q, X)`` — one query against the rows of a matrix ``X``,
   returns a ``float64`` vector. The batch form is what the index hot
   paths use; it must be numerically identical to the pairwise form.
+* ``d.pairwise(Q, X)`` — every row of ``Q`` against every row of ``X``,
+  returns a ``(len(Q), len(X))`` matrix. The batched query engine uses
+  it to compute all query–pivot distances of a batch in one call; row
+  ``i`` must be bit-identical to ``d.batch(Q[i], X)`` so batched and
+  single-query searches return the same answers.
 
 The :class:`WeightedCombination` distance mirrors the structure of the
 CoPhIR metric used in the paper: five MPEG-7 sub-descriptors living in
@@ -87,6 +92,22 @@ class Distance:
             )
         return self._batch(q, xs)
 
+    def pairwise(self, qs: np.ndarray, xs: np.ndarray) -> np.ndarray:
+        """Distance matrix between the rows of ``qs`` and the rows of
+        ``xs``; ``pairwise(Q, X)[i] == batch(Q[i], X)`` bit for bit."""
+        qs = np.asarray(qs, dtype=np.float64)
+        xs = np.asarray(xs, dtype=np.float64)
+        if qs.ndim == 1:
+            qs = qs.reshape(1, -1)
+        if xs.ndim == 1:
+            xs = xs.reshape(1, -1)
+        if qs.shape[1] != xs.shape[1]:
+            raise MetricError(
+                f"dimensionality mismatch: queries {qs.shape[1]} vs "
+                f"matrix rows {xs.shape[1]}"
+            )
+        return self._pairwise(qs, xs)
+
     # -- implementation hooks ------------------------------------------
 
     def _pair(self, x: np.ndarray, y: np.ndarray) -> float:
@@ -94,6 +115,12 @@ class Distance:
 
     def _batch(self, q: np.ndarray, xs: np.ndarray) -> np.ndarray:
         return np.array([self._pair(q, row) for row in xs], dtype=np.float64)
+
+    def _pairwise(self, qs: np.ndarray, xs: np.ndarray) -> np.ndarray:
+        # Row-by-row fallback: trivially bit-identical to _batch.
+        # Subclasses override only with kernels that keep the same
+        # per-row reduction order (sum/max over the trailing axis).
+        return np.stack([self._batch(q, xs) for q in qs])
 
     # -- misc -----------------------------------------------------------
 
@@ -122,6 +149,9 @@ class L1Distance(Distance):
     def _batch(self, q: np.ndarray, xs: np.ndarray) -> np.ndarray:
         return np.abs(xs - q).sum(axis=1)
 
+    def _pairwise(self, qs: np.ndarray, xs: np.ndarray) -> np.ndarray:
+        return np.abs(xs[None, :, :] - qs[:, None, :]).sum(axis=2)
+
 
 #: Alias matching the common name.
 ManhattanDistance = L1Distance
@@ -139,6 +169,10 @@ class L2Distance(Distance):
     def _batch(self, q: np.ndarray, xs: np.ndarray) -> np.ndarray:
         diff = xs - q
         return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+    def _pairwise(self, qs: np.ndarray, xs: np.ndarray) -> np.ndarray:
+        diff = xs[None, :, :] - qs[:, None, :]
+        return np.sqrt(np.einsum("qij,qij->qi", diff, diff))
 
 
 #: Alias matching the common name.
@@ -162,6 +196,10 @@ class MinkowskiDistance(Distance):
     def _batch(self, q: np.ndarray, xs: np.ndarray) -> np.ndarray:
         return (np.abs(xs - q) ** self.p).sum(axis=1) ** (1.0 / self.p)
 
+    def _pairwise(self, qs: np.ndarray, xs: np.ndarray) -> np.ndarray:
+        diff = np.abs(xs[None, :, :] - qs[:, None, :])
+        return (diff ** self.p).sum(axis=2) ** (1.0 / self.p)
+
     def _key(self) -> tuple:
         return (self.p,)
 
@@ -179,6 +217,9 @@ class ChebyshevDistance(Distance):
 
     def _batch(self, q: np.ndarray, xs: np.ndarray) -> np.ndarray:
         return np.abs(xs - q).max(axis=1)
+
+    def _pairwise(self, qs: np.ndarray, xs: np.ndarray) -> np.ndarray:
+        return np.abs(xs[None, :, :] - qs[:, None, :]).max(axis=2)
 
 
 class CosineDistance(Distance):
@@ -224,6 +265,13 @@ class CanberraDistance(Distance):
         with np.errstate(invalid="ignore", divide="ignore"):
             terms = np.where(denom > 0.0, num / denom, 0.0)
         return terms.sum(axis=1)
+
+    def _pairwise(self, qs: np.ndarray, xs: np.ndarray) -> np.ndarray:
+        denom = np.abs(xs[None, :, :]) + np.abs(qs[:, None, :])
+        num = np.abs(xs[None, :, :] - qs[:, None, :])
+        with np.errstate(invalid="ignore", divide="ignore"):
+            terms = np.where(denom > 0.0, num / denom, 0.0)
+        return terms.sum(axis=2)
 
 
 class QuadraticFormDistance(Distance):
@@ -314,6 +362,14 @@ class WeightedCombination(Distance):
         total = np.zeros(xs.shape[0], dtype=np.float64)
         for dist, start, stop, weight in self.components:
             total += weight * dist._batch(q[start:stop], xs[:, start:stop])
+        return total
+
+    def _pairwise(self, qs: np.ndarray, xs: np.ndarray) -> np.ndarray:
+        total = np.zeros((qs.shape[0], xs.shape[0]), dtype=np.float64)
+        for dist, start, stop, weight in self.components:
+            total += weight * dist.pairwise(
+                qs[:, start:stop], xs[:, start:stop]
+            )
         return total
 
     def _key(self) -> tuple:

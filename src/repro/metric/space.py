@@ -55,6 +55,29 @@ class MetricSpace:
         self._calls += xs.shape[0]
         return self.distance.batch(q, xs)
 
+    def d_pairwise(self, qs: np.ndarray, xs: np.ndarray) -> np.ndarray:
+        """Distance matrix between rows of ``qs`` and rows of ``xs``;
+        counts ``len(qs) * len(xs)`` evaluations.
+
+        Row ``i`` is bit-identical to ``d_batch(qs[i], xs)`` — the
+        batched query engine relies on this to return exactly the same
+        answers as looped single-query searches.
+        """
+        qs = np.asarray(qs, dtype=np.float64)
+        xs = np.asarray(xs, dtype=np.float64)
+        if qs.ndim == 1:
+            qs = qs.reshape(1, -1)
+        if xs.ndim == 1:
+            xs = xs.reshape(1, -1)
+        for matrix in (qs, xs):
+            if self.dimension is not None and matrix.shape[1] != self.dimension:
+                raise MetricError(
+                    f"objects of shape {matrix.shape} do not live in "
+                    f"{self.dimension}-dimensional space"
+                )
+        self._calls += qs.shape[0] * xs.shape[0]
+        return self.distance.pairwise(qs, xs)
+
     # -- accounting -----------------------------------------------------
 
     @property

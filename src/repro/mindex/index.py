@@ -18,6 +18,20 @@ Search algorithms implemented (paper §4.1 / §4.2):
   a permutation-based *promise* value and accumulates records until the
   requested candidate-set size is reached; the result is pre-ranked so a
   client may refine only its head.
+
+Each search has a batched variant (:meth:`MIndex.range_search_batch`,
+:meth:`MIndex.approx_knn_candidates_batch`, ...) that answers many
+queries in one call. Batched searches return exactly the same per-query
+results as the looped single-query forms; they amortize work across the
+batch — cell promises for all queries are computed in one vectorized
+kernel, and bucket loads and per-bucket matrices are shared — which is
+what makes the server's ``*_batch`` RPC methods faster than fanning out
+single-query calls.
+
+Searches are read-only with respect to the cell tree and storage, so
+any number may run concurrently; only :meth:`MIndex.insert`,
+:meth:`MIndex.delete` and the bulk loaders mutate (the server serializes
+those behind a write lock).
 """
 
 from __future__ import annotations
@@ -481,6 +495,287 @@ class MIndex:
             query_ranks[prefixes].astype(np.int64) - positions
         )
         return displacement.sum(axis=1).astype(np.float64)
+
+    # ------------------------------------------------------------------
+    # batched searches
+    # ------------------------------------------------------------------
+
+    def approx_knn_candidates_batch(
+        self,
+        query_permutations: np.ndarray,
+        cand_size: int,
+        *,
+        max_cells: int | None = None,
+    ) -> list[list[IndexedRecord]]:
+        """Pre-ranked candidate sets for a whole batch of k-NN queries.
+
+        Returns exactly ``approx_knn_candidates(perm, ...)`` for each row
+        of ``query_permutations``, but amortizes the work: the cell
+        promises of every (query, cell) pair come out of one vectorized
+        kernel — the promise weights and integer rank displacements are
+        exactly representable, so the result is bit-identical to the
+        per-leaf loop — and bucket loads plus the per-bucket permutation
+        matrices are shared across the batch.
+        """
+        perms = np.asarray(query_permutations, dtype=np.int64)
+        if perms.ndim != 2 or perms.shape[1] != self.n_pivots:
+            raise QueryError(
+                f"query permutations must have shape (batch, "
+                f"{self.n_pivots}), got {perms.shape}"
+            )
+        if cand_size <= 0:
+            raise QueryError(f"cand_size must be positive, got {cand_size}")
+        if max_cells is not None and max_cells <= 0:
+            raise QueryError(f"max_cells must be positive, got {max_cells}")
+        n_queries = perms.shape[0]
+        if n_queries == 0:
+            return []
+        # each row must be a permutation of 0..n_pivots-1 — matching the
+        # single-query path's validation — or put_along_axis below would
+        # leave uninitialized rank slots
+        expected = np.arange(self.n_pivots, dtype=np.int64)
+        if not np.array_equal(
+            np.sort(perms, axis=1), np.broadcast_to(expected, perms.shape)
+        ):
+            raise QueryError(
+                f"every query row must be a permutation of "
+                f"0..{self.n_pivots - 1}"
+            )
+        # inverse permutations, one row per query
+        ranks = np.empty_like(perms)
+        np.put_along_axis(
+            ranks,
+            perms,
+            np.broadcast_to(expected, perms.shape),
+            axis=1,
+        )
+        leaves = [leaf for leaf in self.tree.leaves() if leaf.count > 0]
+        if not leaves:
+            return [[] for _ in range(n_queries)]
+        promises = self._promise_matrix(ranks, leaves)
+        # ordinal encoding of the prefix tie-breaker used by the
+        # single-query sort key (promise, prefix)
+        prefix_rank = np.empty(len(leaves), dtype=np.int64)
+        by_prefix = sorted(range(len(leaves)), key=lambda i: leaves[i].prefix)
+        prefix_rank[by_prefix] = np.arange(len(leaves), dtype=np.int64)
+        bucket_cache: dict[tuple[int, ...], list[IndexedRecord]] = {}
+        prefix_stack_cache: dict[tuple[int, ...], np.ndarray] = {}
+        depth = min(_RANK_PREFIX, self.n_pivots)
+        positions = np.arange(depth, dtype=np.int64)
+        results: list[list[IndexedRecord]] = []
+        for qi in range(n_queries):
+            ordered = np.lexsort((prefix_rank, promises[qi]))
+            collected: list[tuple[float, float, IndexedRecord]] = []
+            cells_accessed = 0
+            for li in ordered:
+                if len(collected) >= cand_size:
+                    break
+                if max_cells is not None and cells_accessed >= max_cells:
+                    break
+                leaf = leaves[li]
+                records = bucket_cache.get(leaf.prefix)
+                if records is None:
+                    records = self.storage.load(leaf.prefix)
+                    bucket_cache[leaf.prefix] = records
+                cells_accessed += 1
+                if not records:
+                    continue
+                stack = prefix_stack_cache.get(leaf.prefix)
+                if stack is None:
+                    stack = np.stack([r.permutation[:depth] for r in records])
+                    prefix_stack_cache[leaf.prefix] = stack
+                scores = (
+                    np.abs(ranks[qi][stack] - positions)
+                    .sum(axis=1)
+                    .astype(np.float64)
+                )
+                promise = float(promises[qi, li])
+                collected.extend(
+                    (promise, score, record)
+                    for score, record in zip(scores, records)
+                )
+            collected.sort(key=lambda item: (item[0], item[1], item[2].oid))
+            results.append([record for _p, _s, record in collected[:cand_size]])
+        return results
+
+    @staticmethod
+    def _promise_matrix(
+        ranks: np.ndarray, leaves: list[LeafCell], *, level_decay: float = 0.75
+    ) -> np.ndarray:
+        """(n_queries, n_leaves) matrix of cell promises.
+
+        Numerically exact — every term ``decay**l * |rank - l|`` and all
+        partial sums are exactly representable — so each entry equals
+        :func:`~repro.metric.permutations.prefix_promise` bit for bit.
+        """
+        promises = np.empty((ranks.shape[0], len(leaves)), dtype=np.float64)
+        by_length: dict[int, list[int]] = {}
+        for index, leaf in enumerate(leaves):
+            by_length.setdefault(len(leaf.prefix), []).append(index)
+        for length, indices in by_length.items():
+            if length == 0:
+                promises[:, indices] = 0.0
+                continue
+            prefixes = np.array(
+                [leaves[i].prefix for i in indices], dtype=np.int64
+            )
+            weights = np.empty(length, dtype=np.float64)
+            weight = 1.0
+            for level in range(length):
+                weights[level] = weight
+                weight *= level_decay
+            displacement = np.abs(
+                ranks[:, prefixes]
+                - np.arange(length, dtype=np.int64)
+            ).astype(np.float64)
+            promises[:, indices] = (displacement * weights).sum(axis=2)
+        return promises
+
+    def range_search_batch(
+        self,
+        query_distances: np.ndarray,
+        radius: float,
+        *,
+        stats: list[RangeSearchStats] | None = None,
+    ) -> list[list[IndexedRecord]]:
+        """Candidate sets for a batch of range queries (one shared radius).
+
+        Per-query results are identical to looped :meth:`range_search`
+        calls; bucket loads and the per-bucket distance matrices used by
+        pivot filtering are computed once and shared across the batch.
+        """
+        q_matrix = np.asarray(query_distances, dtype=np.float64)
+        if q_matrix.ndim != 2 or q_matrix.shape[1] != self.n_pivots:
+            raise QueryError(
+                f"query distances must have shape (batch, {self.n_pivots}), "
+                f"got {q_matrix.shape}"
+            )
+        if radius < 0:
+            raise QueryError(f"radius must be >= 0, got {radius}")
+        if stats is not None and len(stats) != q_matrix.shape[0]:
+            raise QueryError(
+                f"stats list of {len(stats)} does not match batch of "
+                f"{q_matrix.shape[0]}"
+            )
+        stats_list = (
+            stats
+            if stats is not None
+            else [RangeSearchStats() for _ in range(q_matrix.shape[0])]
+        )
+        leaves = self.tree.leaves()
+        bucket_cache: dict[tuple[int, ...], list[IndexedRecord]] = {}
+        matrix_cache: dict[tuple[int, ...], np.ndarray] = {}
+        results: list[list[IndexedRecord]] = []
+        for q, query_stats in zip(q_matrix, stats_list):
+            order = np.argsort(q, kind="stable")
+            candidates: list[IndexedRecord] = []
+            for leaf in leaves:
+                query_stats.cells_examined += 1
+                if self._double_pivot_bound(q, order, leaf.prefix) > radius:
+                    query_stats.cells_pruned_double_pivot += 1
+                    continue
+                if self._range_pivot_bound(q, leaf) > radius:
+                    query_stats.cells_pruned_range_pivot += 1
+                    continue
+                records = bucket_cache.get(leaf.prefix)
+                if records is None:
+                    records = self.storage.load(leaf.prefix)
+                    bucket_cache[leaf.prefix] = records
+                query_stats.cells_accessed += 1
+                query_stats.records_scanned += len(records)
+                if not records:
+                    continue
+                matrix = matrix_cache.get(leaf.prefix)
+                if matrix is None:
+                    matrix = self._distance_matrix(records)
+                    matrix_cache[leaf.prefix] = matrix
+                lower_bounds = np.abs(matrix - q).max(axis=1)
+                keep = lower_bounds <= radius
+                query_stats.records_filtered += int((~keep).sum())
+                candidates.extend(
+                    record for record, flag in zip(records, keep) if flag
+                )
+            query_stats.candidates = len(candidates)
+            results.append(candidates)
+        return results
+
+    def range_search_transformed_batch(
+        self,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        *,
+        stats: list[RangeSearchStats] | None = None,
+    ) -> list[list[IndexedRecord]]:
+        """Batched :meth:`range_search_transformed` with shared bucket
+        loads and per-bucket matrices; per-query results are identical
+        to the looped single-query calls."""
+        low_matrix = np.asarray(lows, dtype=np.float64)
+        high_matrix = np.asarray(highs, dtype=np.float64)
+        if (
+            low_matrix.ndim != 2
+            or low_matrix.shape[1] != self.n_pivots
+            or high_matrix.shape != low_matrix.shape
+        ):
+            raise QueryError(
+                f"interval matrices must have shape (batch, "
+                f"{self.n_pivots}), got {low_matrix.shape} and "
+                f"{high_matrix.shape}"
+            )
+        if np.any(low_matrix > high_matrix):
+            raise QueryError("interval lows must not exceed highs")
+        if stats is not None and len(stats) != low_matrix.shape[0]:
+            raise QueryError(
+                f"stats list of {len(stats)} does not match batch of "
+                f"{low_matrix.shape[0]}"
+            )
+        stats_list = (
+            stats
+            if stats is not None
+            else [RangeSearchStats() for _ in range(low_matrix.shape[0])]
+        )
+        leaves = self.tree.leaves()
+        bucket_cache: dict[tuple[int, ...], list[IndexedRecord]] = {}
+        matrix_cache: dict[tuple[int, ...], np.ndarray] = {}
+        results: list[list[IndexedRecord]] = []
+        for low, high, query_stats in zip(
+            low_matrix, high_matrix, stats_list
+        ):
+            candidates: list[IndexedRecord] = []
+            for leaf in leaves:
+                query_stats.cells_examined += 1
+                if self._interval_prunes_leaf(low, high, leaf):
+                    query_stats.cells_pruned_range_pivot += 1
+                    continue
+                records = bucket_cache.get(leaf.prefix)
+                if records is None:
+                    records = self.storage.load(leaf.prefix)
+                    bucket_cache[leaf.prefix] = records
+                query_stats.cells_accessed += 1
+                query_stats.records_scanned += len(records)
+                if not records:
+                    continue
+                matrix = matrix_cache.get(leaf.prefix)
+                if matrix is None:
+                    matrix = self._distance_matrix(records)
+                    matrix_cache[leaf.prefix] = matrix
+                keep = np.all((matrix >= low) & (matrix <= high), axis=1)
+                query_stats.records_filtered += int((~keep).sum())
+                candidates.extend(
+                    record for record, flag in zip(records, keep) if flag
+                )
+            query_stats.candidates = len(candidates)
+            results.append(candidates)
+        return results
+
+    @staticmethod
+    def _distance_matrix(records: list[IndexedRecord]) -> np.ndarray:
+        """Stacked pivot distances of a bucket (precise strategy only)."""
+        if any(r.distances is None for r in records):
+            raise QueryError(
+                "range search requires records stored with pivot "
+                "distances (the precise strategy)"
+            )
+        return np.stack([r.distances for r in records])
 
     # ------------------------------------------------------------------
     # introspection

@@ -6,10 +6,21 @@ Response envelope: ``u8 status | f64 server_time | blob body-or-error``
 ``server_time`` is the handler's processing time measured by the
 dispatcher; the client uses it to split round-trip time into the
 "server time" and "communication time" rows of the paper's tables.
+
+The layer also provides a generic **batched** call: a dispatcher with
+:meth:`RpcDispatcher.enable_batch` exposes a ``search_batch`` method
+that carries many request bodies for one inner method in a single wire
+message and fans them out over a thread pool on the server;
+:meth:`RpcClient.call_batch` is the client-side counterpart. Handlers
+reached through ``search_batch`` run concurrently, so they must take the
+server's read–write lock themselves (see
+:class:`~repro.core.locks.ReadWriteLock`).
 """
 
 from __future__ import annotations
 
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable
 
 from repro.exceptions import ProtocolError, ReproError
@@ -17,10 +28,13 @@ from repro.net.channel import Channel, TcpChannel
 from repro.net.clock import Clock, WallClock
 from repro.wire.encoding import Reader, Writer
 
-__all__ = ["RpcDispatcher", "RpcClient"]
+__all__ = ["RpcDispatcher", "RpcClient", "BATCH_METHOD"]
 
 _STATUS_OK = 0
 _STATUS_ERROR = 1
+
+#: wire name of the generic batched call
+BATCH_METHOD = "search_batch"
 
 Handler = Callable[[Reader], Writer]
 
@@ -32,11 +46,16 @@ class RpcDispatcher:
     return a :class:`Writer` with the response body. Exceptions derived
     from :class:`ReproError` travel back to the client as error
     responses; anything else is a bug and propagates.
+
+    Time/call accounting is mutex-guarded: the TCP transport dispatches
+    one thread per client connection, so ``handle`` may run concurrently.
     """
 
     def __init__(self, *, clock: Clock | None = None) -> None:
         self._handlers: dict[str, Handler] = {}
         self._clock: Clock = clock or WallClock()
+        self._accounting = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
         self.server_time = 0.0
         self.calls = 0
 
@@ -45,6 +64,49 @@ class RpcDispatcher:
         if method in self._handlers:
             raise ProtocolError(f"method {method!r} already registered")
         self._handlers[method] = handler
+
+    def enable_batch(self, *, max_workers: int = 8) -> None:
+        """Expose the generic ``search_batch`` method.
+
+        The request body carries an inner method name and a sequence of
+        request bodies; the dispatcher fans them out over a shared
+        thread pool and returns the responses in request order. The
+        batch is all-or-nothing: one failing sub-request fails the whole
+        call (a caller that needs failure isolation can fall back to
+        per-query calls). Inner handlers run *outside* the per-call
+        accounting (the batch call's own elapsed time already covers
+        them) and must be safe for concurrent execution. Worker threads
+        are spawned on demand; :meth:`close` releases them.
+        """
+        if max_workers <= 0:
+            raise ProtocolError(
+                f"max_workers must be positive, got {max_workers}"
+            )
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="rpc-batch"
+        )
+        self.register(BATCH_METHOD, self._handle_batch)
+
+    def _handle_batch(self, body: Reader) -> Writer:
+        if self._pool is None:
+            raise ProtocolError("batch thread pool is closed")
+        inner_method = body.string()
+        if inner_method == BATCH_METHOD:
+            raise ProtocolError("search_batch cannot nest")
+        handler = self._handlers.get(inner_method)
+        if handler is None:
+            raise ProtocolError(f"unknown inner method {inner_method!r}")
+        count = body.u32()
+        bodies = [body.blob() for _ in range(count)]
+        body.expect_end()
+        results = list(
+            self._pool.map(lambda sub: handler(Reader(sub)), bodies)
+        )
+        response = Writer()
+        response.u32(len(results))
+        for result in results:
+            response.blob(result.getvalue())
+        return response
 
     def handle(self, request: bytes) -> bytes:
         """Entry point given to a channel: decode, dispatch, encode.
@@ -75,22 +137,36 @@ class RpcDispatcher:
             result = handler(body)
         except ReproError as exc:
             elapsed = self._clock.now() - start
-            self.server_time += elapsed
-            self.calls += 1
+            self._charge(elapsed)
             response.u8(_STATUS_ERROR).f64(elapsed).string(
                 f"{type(exc).__name__}: {exc}"
             )
             return response.getvalue()
         elapsed = self._clock.now() - start
-        self.server_time += elapsed
-        self.calls += 1
+        self._charge(elapsed)
         response.u8(_STATUS_OK).f64(elapsed).blob(result.getvalue())
         return response.getvalue()
 
+    def _charge(self, elapsed: float) -> None:
+        with self._accounting:
+            self.server_time += elapsed
+            self.calls += 1
+
     def reset_accounting(self) -> None:
         """Zero the server-side time counters."""
-        self.server_time = 0.0
-        self.calls = 0
+        with self._accounting:
+            self.server_time = 0.0
+            self.calls = 0
+
+    def close(self) -> None:
+        """Release the batch thread pool (no-op without enable_batch).
+
+        Subsequent ``search_batch`` calls fail; single-query methods
+        keep working.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
 
 class RpcClient:
@@ -123,6 +199,33 @@ class RpcClient:
         if status != _STATUS_OK:
             raise ProtocolError(f"invalid response status {status}")
         return Reader(reader.blob())
+
+    def call_batch(
+        self, method: str, bodies: list[Writer | bytes]
+    ) -> list[Reader]:
+        """Invoke ``method`` once per body in a single ``search_batch``
+        round trip; returns one response Reader per body, in order.
+
+        Requires the server dispatcher to have batching enabled
+        (:meth:`RpcDispatcher.enable_batch`).
+        """
+        writer = Writer()
+        writer.string(method)
+        writer.u32(len(bodies))
+        for body in bodies:
+            writer.blob(
+                body.getvalue() if isinstance(body, Writer) else bytes(body)
+            )
+        reader = self.call(BATCH_METHOD, writer)
+        count = reader.u32()
+        if count != len(bodies):
+            raise ProtocolError(
+                f"batch response carries {count} results for "
+                f"{len(bodies)} requests"
+            )
+        readers = [Reader(reader.blob()) for _ in range(count)]
+        reader.expect_end()
+        return readers
 
     def reset_accounting(self) -> None:
         """Zero the client's view of server time and the channel counters."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 import hashlib
 import os
 import struct
+import threading
 from pathlib import Path
 from typing import Hashable, Iterator
 
@@ -23,12 +24,17 @@ _LEN = struct.Struct("<I")
 
 
 class DiskStorage:
-    """One-file-per-cell disk storage with I/O accounting."""
+    """One-file-per-cell disk storage with I/O accounting.
+
+    Counter updates are mutex-guarded so concurrent search handlers
+    (one reader thread per query of a batch) keep the accounting exact.
+    """
 
     def __init__(self, directory: str | os.PathLike) -> None:
         self._dir = Path(directory)
         self._dir.mkdir(parents=True, exist_ok=True)
         self._catalog: dict[Hashable, tuple[str, int]] = {}
+        self._accounting = threading.Lock()
         self.bytes_written = 0
         self.bytes_read = 0
         self.reads = 0
@@ -42,8 +48,9 @@ class DiskStorage:
         blob = b"".join(self._frame(r) for r in records)
         (self._dir / name).write_bytes(blob)
         self._catalog[cell_id] = (name, len(records))
-        self.bytes_written += len(blob)
-        self.writes += 1
+        with self._accounting:
+            self.bytes_written += len(blob)
+            self.writes += 1
 
     def append(self, cell_id: Hashable, record: IndexedRecord) -> None:
         """Append one record to a cell file, creating it if missing."""
@@ -52,8 +59,9 @@ class DiskStorage:
         with open(self._dir / name, "ab") as fh:
             fh.write(frame)
         self._catalog[cell_id] = (name, count + 1)
-        self.bytes_written += len(frame)
-        self.writes += 1
+        with self._accounting:
+            self.bytes_written += len(frame)
+            self.writes += 1
 
     def load(self, cell_id: Hashable) -> list[IndexedRecord]:
         """Read back the records of a cell (empty list if absent)."""
@@ -62,8 +70,9 @@ class DiskStorage:
             return []
         name, _count = entry
         blob = (self._dir / name).read_bytes()
-        self.bytes_read += len(blob)
-        self.reads += 1
+        with self._accounting:
+            self.bytes_read += len(blob)
+            self.reads += 1
         return list(self._parse(blob))
 
     def delete(self, cell_id: Hashable) -> None:

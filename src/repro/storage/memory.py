@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Hashable, Iterator
 
 from repro.core.records import IndexedRecord
@@ -15,11 +16,14 @@ class MemoryStorage:
 
     Keys are Voronoi-cell identifiers (permutation-prefix tuples). Byte
     accounting reflects the records' wire sizes so memory and disk
-    backends report comparable numbers.
+    backends report comparable numbers. Counter updates are guarded by a
+    mutex so concurrent search handlers (the batched query engine runs
+    one reader thread per query) keep the accounting exact.
     """
 
     def __init__(self) -> None:
         self._cells: dict[Hashable, list[IndexedRecord]] = {}
+        self._accounting = threading.Lock()
         self.bytes_written = 0
         self.bytes_read = 0
         self.reads = 0
@@ -28,20 +32,23 @@ class MemoryStorage:
     def save(self, cell_id: Hashable, records: list[IndexedRecord]) -> None:
         """Store (replace) the record list of a cell."""
         self._cells[cell_id] = list(records)
-        self.bytes_written += sum(r.wire_size for r in records)
-        self.writes += 1
+        with self._accounting:
+            self.bytes_written += sum(r.wire_size for r in records)
+            self.writes += 1
 
     def append(self, cell_id: Hashable, record: IndexedRecord) -> None:
         """Append one record to a cell, creating it if missing."""
         self._cells.setdefault(cell_id, []).append(record)
-        self.bytes_written += record.wire_size
-        self.writes += 1
+        with self._accounting:
+            self.bytes_written += record.wire_size
+            self.writes += 1
 
     def load(self, cell_id: Hashable) -> list[IndexedRecord]:
         """Return the records of a cell (empty list if absent)."""
         records = self._cells.get(cell_id, [])
-        self.bytes_read += sum(r.wire_size for r in records)
-        self.reads += 1
+        with self._accounting:
+            self.bytes_read += sum(r.wire_size for r in records)
+            self.reads += 1
         return list(records)
 
     def delete(self, cell_id: Hashable) -> None:

@@ -3,9 +3,10 @@
 :class:`Writer` builds a message; :class:`Reader` consumes one and
 raises :class:`~repro.exceptions.ProtocolError` on any truncation or
 type confusion. All multi-byte integers are little-endian; arrays carry
-an element-count prefix. These primitives underlie every byte that
-crosses the client/server boundary, so communication-cost measurements
-are exact.
+an element-count prefix and matrices a (rows, cols) shape prefix — the
+matrix codecs are what let a whole query batch travel as one message.
+These primitives underlie every byte that crosses the client/server
+boundary, so communication-cost measurements are exact.
 """
 
 from __future__ import annotations
@@ -93,6 +94,29 @@ class Writer:
         self._parts.append(a.tobytes())
         return self
 
+    def f64_matrix(self, arr: np.ndarray) -> "Writer":
+        """Append a shape-prefixed row-major float64 matrix.
+
+        Batched queries ship all query–pivot distances of a batch as one
+        matrix instead of per-query arrays.
+        """
+        a = np.ascontiguousarray(arr, dtype="<f8")
+        if a.ndim != 2:
+            raise ProtocolError(f"f64_matrix must be 2-D, got shape {a.shape}")
+        self.u32(a.shape[0]).u32(a.shape[1])
+        self._parts.append(a.tobytes())
+        return self
+
+    def i32_matrix(self, arr: np.ndarray) -> "Writer":
+        """Append a shape-prefixed row-major int32 matrix (e.g. the pivot
+        permutations of a query batch)."""
+        a = np.ascontiguousarray(arr, dtype="<i4")
+        if a.ndim != 2:
+            raise ProtocolError(f"i32_matrix must be 2-D, got shape {a.shape}")
+        self.u32(a.shape[0]).u32(a.shape[1])
+        self._parts.append(a.tobytes())
+        return self
+
     def getvalue(self) -> bytes:
         """The encoded message."""
         return b"".join(self._parts)
@@ -165,6 +189,20 @@ class Reader:
         return np.frombuffer(self._take(count * 4), dtype="<i4").astype(
             np.int32
         )
+
+    def f64_matrix(self) -> np.ndarray:
+        """Read a shape-prefixed float64 matrix."""
+        rows = self.u32()
+        cols = self.u32()
+        data = np.frombuffer(self._take(rows * cols * 8), dtype="<f8")
+        return data.astype(np.float64).reshape(rows, cols)
+
+    def i32_matrix(self) -> np.ndarray:
+        """Read a shape-prefixed int32 matrix."""
+        rows = self.u32()
+        cols = self.u32()
+        data = np.frombuffer(self._take(rows * cols * 4), dtype="<i4")
+        return data.astype(np.int32).reshape(rows, cols)
 
     def remaining(self) -> int:
         """Bytes left to read."""

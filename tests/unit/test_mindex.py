@@ -229,3 +229,123 @@ class TestApproxKnn:
         a = [r.oid for r in index.approx_knn_candidates(perm, 40)]
         b = [r.oid for r in index.approx_knn_candidates(perm, 40)]
         assert a == b
+
+
+class TestBatchedIndexSearches:
+    """MIndex batch variants must equal looped single-query calls."""
+
+    def test_approx_knn_batch_matches_loop(self, rng):
+        index, _data, pivots, d = _build_index(rng, bucket_capacity=10)
+        perms = np.stack(
+            [
+                pivot_permutation(d.batch(rng.normal(size=_DIM) * 3, pivots))
+                for _ in range(12)
+            ]
+        )
+        batched = index.approx_knn_candidates_batch(perms, 60)
+        for perm, batch_records in zip(perms, batched):
+            single = index.approx_knn_candidates(perm, 60)
+            assert [r.oid for r in single] == [r.oid for r in batch_records]
+
+    def test_approx_knn_batch_with_max_cells(self, rng):
+        index, _data, pivots, d = _build_index(rng, bucket_capacity=10)
+        perms = np.stack(
+            [
+                pivot_permutation(d.batch(rng.normal(size=_DIM) * 3, pivots))
+                for _ in range(6)
+            ]
+        )
+        batched = index.approx_knn_candidates_batch(perms, 10_000, max_cells=2)
+        for perm, batch_records in zip(perms, batched):
+            single = index.approx_knn_candidates(perm, 10_000, max_cells=2)
+            assert [r.oid for r in single] == [r.oid for r in batch_records]
+
+    def test_range_batch_matches_loop_with_identical_stats(self, rng):
+        index, data, pivots, d = _build_index(rng, bucket_capacity=10)
+        queries = rng.normal(size=(10, _DIM)) * 3
+        q_matrix = np.stack([d.batch(q, pivots) for q in queries])
+        radius = float(np.percentile(d.batch(queries[0], data), 10))
+        batch_stats = [RangeSearchStats() for _ in range(len(queries))]
+        batched = index.range_search_batch(q_matrix, radius, stats=batch_stats)
+        for q_dists, batch_records, got_stats in zip(
+            q_matrix, batched, batch_stats
+        ):
+            single_stats = RangeSearchStats()
+            single = index.range_search(q_dists, radius, stats=single_stats)
+            assert [r.oid for r in single] == [r.oid for r in batch_records]
+            assert single_stats == got_stats
+
+    def test_empty_batches(self, rng):
+        index, _data, _pivots, _d = _build_index(rng, n_records=30)
+        assert index.approx_knn_candidates_batch(
+            np.empty((0, _N_PIVOTS), dtype=np.int64), 10
+        ) == []
+        assert index.range_search_batch(
+            np.empty((0, _N_PIVOTS)), 1.0
+        ) == []
+
+    def test_batch_shape_validation(self, rng):
+        index, _data, _pivots, _d = _build_index(rng, n_records=30)
+        with pytest.raises(QueryError):
+            index.approx_knn_candidates_batch(np.zeros((2, 3), np.int64), 10)
+        with pytest.raises(QueryError):
+            index.range_search_batch(np.zeros((2, 3)), 1.0)
+        with pytest.raises(QueryError):
+            index.range_search_batch(np.zeros((2, _N_PIVOTS)), -1.0)
+
+    def test_batch_rejects_invalid_permutations(self, rng):
+        """Rows that are not permutations (duplicates, out-of-range)
+        get a clean error, like the single-query path — never garbage
+        ranks or a raw numpy IndexError."""
+        index, _data, _pivots, _d = _build_index(rng, n_records=30)
+        duplicate = np.arange(_N_PIVOTS, dtype=np.int64)[None, :].copy()
+        duplicate[0, 1] = duplicate[0, 0]
+        with pytest.raises(QueryError, match="permutation"):
+            index.approx_knn_candidates_batch(duplicate, 10)
+        out_of_range = np.arange(_N_PIVOTS, dtype=np.int64)[None, :].copy()
+        out_of_range[0, 0] = 99
+        with pytest.raises(QueryError, match="permutation"):
+            index.approx_knn_candidates_batch(out_of_range, 10)
+
+
+class TestNoMetricInsideModule:
+    """The module docstring's core claim — "No metric distance is ever
+    evaluated inside this module" — enforced, not just stated."""
+
+    def test_searches_never_evaluate_a_distance(self, rng, monkeypatch):
+        index, _data, pivots, d = _build_index(rng, bucket_capacity=10)
+
+        def forbidden(*_args, **_kwargs):  # pragma: no cover - must not run
+            raise AssertionError(
+                "a metric distance was evaluated inside repro.mindex"
+            )
+
+        from repro.metric.distances import Distance
+
+        q = rng.normal(size=_DIM) * 3
+        q_dists = d.batch(q, pivots)
+        perm = pivot_permutation(q_dists)
+        monkeypatch.setattr(Distance, "__call__", forbidden)
+        monkeypatch.setattr(Distance, "batch", forbidden)
+        monkeypatch.setattr(Distance, "pairwise", forbidden)
+        index.range_search(q_dists, 5.0)
+        index.approx_knn_candidates(perm, 40)
+        index.approx_knn_candidates_batch(perm[None, :], 40)
+        index.range_search_batch(q_dists[None, :], 5.0)
+
+    def test_module_imports_no_metric_machinery(self):
+        import inspect
+
+        import repro.mindex.index as module
+
+        source = inspect.getsource(module)
+        assert "No metric distance is ever evaluated" in module.__doc__
+        for name in (
+            "MetricSpace",
+            "metric.distances",
+            "metric.space",
+            ".d_batch(",
+            ".d_pairwise(",
+            ".pairwise(",
+        ):
+            assert name not in source, name

@@ -136,3 +136,42 @@ class TestReaderSafety:
     def test_writer_len(self):
         writer = Writer().u32(1).blob(b"abcd")
         assert len(writer) == 4 + 4 + 4
+
+
+class TestMatrices:
+    def test_f64_matrix_roundtrip(self, rng):
+        matrix = rng.normal(size=(5, 7))
+        data = Writer().f64_matrix(matrix).getvalue()
+        reader = Reader(data)
+        np.testing.assert_array_equal(reader.f64_matrix(), matrix)
+        reader.expect_end()
+
+    def test_i32_matrix_roundtrip(self, rng):
+        matrix = rng.integers(-1000, 1000, size=(4, 9), dtype=np.int32)
+        data = Writer().i32_matrix(matrix).getvalue()
+        reader = Reader(data)
+        np.testing.assert_array_equal(reader.i32_matrix(), matrix)
+        reader.expect_end()
+
+    def test_empty_matrices(self):
+        data = (
+            Writer()
+            .f64_matrix(np.empty((0, 6)))
+            .i32_matrix(np.empty((3, 0), dtype=np.int32))
+            .getvalue()
+        )
+        reader = Reader(data)
+        assert reader.f64_matrix().shape == (0, 6)
+        assert reader.i32_matrix().shape == (3, 0)
+        reader.expect_end()
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ProtocolError):
+            Writer().f64_matrix(np.zeros(4))
+        with pytest.raises(ProtocolError):
+            Writer().i32_matrix(np.zeros((2, 2, 2), dtype=np.int32))
+
+    def test_truncated_matrix_rejected(self):
+        data = Writer().f64_matrix(np.ones((3, 3))).getvalue()
+        with pytest.raises(ProtocolError):
+            Reader(data[:-8]).f64_matrix()

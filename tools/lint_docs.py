@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""lint-docs: execute every fenced ``python`` snippet in the docs.
+
+Documentation that cannot run is documentation that drifts. This tool
+extracts each ```python fenced block from README.md and docs/*.md and
+runs it in a fresh interpreter with ``src`` on the path, failing on the
+first snippet that raises. Blocks fenced as ``bash``/``text``/untyped
+and blocks immediately preceded by an HTML comment containing
+``lint-docs: skip`` are not executed.
+
+Usage:  python tools/lint_docs.py [file.md ...]
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_FILES = ["README.md", "docs/ARCHITECTURE.md", "docs/BENCHMARKS.md"]
+
+_FENCE = re.compile(
+    r"^```python[^\n]*\n(.*?)^```\s*$", re.MULTILINE | re.DOTALL
+)
+_SKIP_MARK = "lint-docs: skip"
+
+
+def extract_snippets(text: str) -> list[tuple[int, str]]:
+    """(line number, code) for every runnable python fence in ``text``."""
+    snippets = []
+    for match in _FENCE.finditer(text):
+        preceding = text[: match.start()].rstrip().rsplit("\n", 1)[-1]
+        if _SKIP_MARK in preceding:
+            continue
+        line = text[: match.start()].count("\n") + 1
+        snippets.append((line, match.group(1)))
+    return snippets
+
+
+def run_snippet(source: Path, line: int, code: str) -> bool:
+    """Execute one snippet; returns True on success."""
+    env = dict(os.environ)
+    src_dir = str(ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir if not existing else src_dir + os.pathsep + existing
+    )
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".py", delete=False
+    ) as handle:
+        handle.write(code)
+        path = handle.name
+    try:
+        result = subprocess.run(
+            [sys.executable, path],
+            env=env,
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+    finally:
+        os.unlink(path)
+    label = f"{source.relative_to(ROOT)}:{line}"
+    if result.returncode != 0:
+        print(f"FAIL {label}")
+        sys.stdout.write(result.stdout)
+        sys.stderr.write(result.stderr)
+        return False
+    print(f"ok   {label}")
+    return True
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(a) for a in argv] if argv else [
+        ROOT / name for name in DEFAULT_FILES
+    ]
+    failures = 0
+    total = 0
+    for path in files:
+        if not path.exists():
+            print(f"FAIL {path}: file does not exist")
+            failures += 1
+            continue
+        for line, code in extract_snippets(path.read_text()):
+            total += 1
+            if not run_snippet(path, line, code):
+                failures += 1
+    print(f"{total - failures}/{total} snippets ran clean")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
