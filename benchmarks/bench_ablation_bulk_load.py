@@ -1,10 +1,14 @@
-"""Ablation — incremental insertion vs one-shot bulk loading.
+"""Ablation — per-record insertion vs group-wise vs one-shot loading.
 
 The paper's construction phase inserts in bulks of 1,000 through the
-encryption client; the index itself still splits cells incrementally,
-rewriting every overflowing bucket. ``MIndex.bulk_load`` partitions
-top-down and writes each cell once — on a disk backend that is the
-difference between O(n log n) and O(n) bucket I/O.
+encryption client. Three index builders are compared: a per-record
+``insert`` loop (one storage append per record, splits rewriting every
+overflowing bucket), the group-wise ``bulk_insert`` (records lexsorted
+by permutation prefix, one ``append_many`` write per touched cell,
+splits resolved once per cell), and the one-shot ``bulk_load`` (top-down
+array partitioning, every final cell written exactly once through
+``save_many``). On a disk backend this is the difference between
+O(n log n) and O(cells) bucket I/O.
 """
 
 import numpy as np
@@ -40,9 +44,18 @@ def described_records(yeast):
 def test_ablation_bulk_load(described_records, yeast, tmp_path, benchmark):
     import time
 
+    def insert_loop(index, records):
+        for record in records:
+            index.insert(record)
+
+    builders = {
+        "insert loop": insert_loop,
+        "bulk_insert": lambda index, records: index.bulk_insert(records),
+        "bulk_load": lambda index, records: index.bulk_load(records),
+    }
     rows = []
     writes = {}
-    for method in ("bulk_insert", "bulk_load"):
+    for method, build in builders.items():
         for backend_name in ("memory", "disk"):
             if backend_name == "memory":
                 storage = MemoryStorage()
@@ -52,7 +65,7 @@ def test_ablation_bulk_load(described_records, yeast, tmp_path, benchmark):
                 yeast.n_pivots, yeast.bucket_capacity, storage
             )
             start = time.perf_counter()
-            getattr(index, method)(described_records)
+            build(index, described_records)
             elapsed = time.perf_counter() - start
             writes[(method, backend_name)] = storage.writes
             rows.append(
@@ -67,15 +80,22 @@ def test_ablation_bulk_load(described_records, yeast, tmp_path, benchmark):
             )
             assert len(index) == yeast.n_records
     text = format_matrix(
-        "Ablation: incremental insert vs bulk load (YEAST records)",
+        "Ablation: per-record insert vs bulk insert vs bulk load "
+        "(YEAST records)",
         ["build time [s]", "bucket writes", "MB written"],
         rows,
         row_header="Method / backend",
     )
     save_result("ablation_bulk_load", text)
 
-    # bulk load must write far fewer buckets
-    assert writes[("bulk_load", "disk")] < writes[("bulk_insert", "disk")] / 5
+    # group-wise routing and one-shot loading must both write far
+    # fewer buckets than one append per record
+    assert writes[("bulk_load", "disk")] < writes[("insert loop", "disk")] / 5
+    assert (
+        writes[("bulk_insert", "disk")] < writes[("insert loop", "disk")] / 5
+    )
+    # and bulk_load never rewrites a cell at all
+    assert writes[("bulk_load", "disk")] <= writes[("bulk_insert", "disk")]
 
     # benchmark: bulk-loading the whole collection into memory
     def build():

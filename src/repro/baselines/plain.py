@@ -27,7 +27,7 @@ from repro.core.records import (
 )
 from repro.exceptions import QueryError
 from repro.metric.distances import Distance
-from repro.metric.permutations import pivot_permutation
+from repro.metric.permutations import pivot_permutation, pivot_permutations
 from repro.metric.space import MetricSpace
 from repro.mindex.index import MIndex
 from repro.net.channel import InProcessChannel
@@ -42,12 +42,16 @@ __all__ = ["PlainServer", "PlainClient", "build_plain"]
 class PlainServer:
     """Server of the non-encrypted variant: pivots, metric and all.
 
-    RPC methods: ``insert_plain`` (raw vectors; the server computes
-    pivot distances itself), ``knn_plain`` (full search + refinement
-    server-side, returns the answer set), ``range_plain``, ``stats``,
-    plus the generic ``search_batch`` fan-out so
-    :meth:`PlainClient.knn_batch` can ship a whole query batch in one
-    message. Handlers serialize on a mutex — the plain server computes
+    RPC methods: ``insert_plain`` (per-record raw vectors; the server
+    computes pivot distances itself), ``insert_plain_bulk`` (one oid
+    column + one vector matrix per bulk; distances, permutations and
+    group-wise index routing all run vectorized — the plain twin of the
+    encrypted ``insert_bulk``, so the construction comparison isolates
+    the encryption layer rather than loop overhead), ``knn_plain``
+    (full search + refinement server-side, returns the answer set),
+    ``range_plain``, ``stats``, plus the generic ``search_batch``
+    fan-out so :meth:`PlainClient.knn_batch` can ship a whole query
+    batch in one message. Handlers serialize on a mutex — the plain server computes
     distances and charges its own cost recorder, neither of which is
     concurrency-safe, and as the comparison baseline it should not gain
     or lose time to locking subtleties.
@@ -75,6 +79,9 @@ class PlainServer:
         self._mutex = threading.Lock()
         self.dispatcher = RpcDispatcher(clock=clock)
         self.dispatcher.register("insert_plain", self._handle_insert)
+        self.dispatcher.register(
+            "insert_plain_bulk", self._handle_insert_bulk
+        )
         self.dispatcher.register("knn_plain", self._handle_knn)
         self.dispatcher.register("range_plain", self._handle_range)
         self.dispatcher.register("stats", self._handle_stats)
@@ -129,6 +136,41 @@ class PlainServer:
                 )
                 self.index.insert(record)
             body.expect_end()
+            return Writer().u64(len(self.index))
+
+    def _handle_insert_bulk(self, body: Reader) -> Writer:
+        oids = body.u64_array()
+        vectors = body.f64_matrix()
+        body.expect_end()
+        if vectors.shape[0] != oids.shape[0]:
+            raise QueryError(
+                f"bulk carries {vectors.shape[0]} vectors for "
+                f"{oids.shape[0]} oids"
+            )
+        dim = self.pivots.shape[1]
+        if vectors.shape[0] and vectors.shape[1] != dim:
+            raise QueryError(
+                f"vectors of dim {vectors.shape[1]} do not match "
+                f"index dim {dim}"
+            )
+        if oids.shape[0] == 0:
+            with self._mutex:
+                return Writer().u64(len(self.index))
+        with self._mutex:
+            with self.costs.time(DISTANCE):
+                distance_matrix = self.space.d_pairwise(vectors, self.pivots)
+            permutations = pivot_permutations(distance_matrix)
+            rows = np.ascontiguousarray(vectors, dtype=np.float64)
+            records = [
+                IndexedRecord(
+                    int(oid),
+                    permutations[position],
+                    distance_matrix[position],
+                    vector_to_payload(rows[position]),
+                )
+                for position, oid in enumerate(oids)
+            ]
+            self.index.bulk_insert(records)
             return Writer().u64(len(self.index))
 
     def _handle_knn(self, body: Reader) -> Writer:
@@ -236,7 +278,8 @@ class PlainClient:
         *,
         bulk_size: int = 1000,
     ) -> int:
-        """Send raw objects in bulks; the server does all indexing work."""
+        """Send raw objects in columnar bulks; the server does all
+        indexing work (vectorized, see ``insert_plain_bulk``)."""
         if len(oids) != len(vectors):
             raise QueryError(
                 f"oids ({len(oids)}) and vectors ({len(vectors)}) differ"
@@ -246,11 +289,15 @@ class PlainClient:
             stop = min(start + bulk_size, len(oids))
             with self.costs.time(CLIENT):
                 writer = Writer()
-                writer.u32(stop - start)
-                for position in range(start, stop):
-                    writer.u64(int(oids[position]))
-                    writer.f64_array(vectors[position])
-            response = self.rpc.call("insert_plain", writer)
+                writer.u64_array(
+                    np.array(
+                        [int(o) for o in oids[start:stop]], dtype=np.uint64
+                    )
+                )
+                writer.f64_matrix(
+                    np.asarray(vectors[start:stop], dtype=np.float64)
+                )
+            response = self.rpc.call("insert_plain_bulk", writer)
             total = response.u64()
         return total
 

@@ -22,6 +22,14 @@ queries, and an LRU cache of decrypted payloads (keyed by record id)
 carries reuse across calls. Batched searches return exactly the same
 hits as looped single-query calls.
 
+Construction is columnar as well: :meth:`EncryptedClient.insert_many`
+computes one object×pivot distance matrix per bulk, transforms and
+permutes it with whole-matrix kernels, and ships the bulk as a single
+:class:`~repro.core.records.RecordBatch` wire message (see the
+server's ``insert_bulk``). The resulting index is identical to the
+per-record protocol's — :meth:`EncryptedClient.insert` is just a bulk
+of one.
+
 :class:`DataOwner` is the construction-phase role: it generates the
 secret key and bulk-outsources the collection; afterwards it hands the
 key to authorized clients (here: :meth:`DataOwner.authorize`).
@@ -50,6 +58,7 @@ from repro.core.costs import (
 from repro.core.records import (
     CandidateEntry,
     IndexedRecord,
+    RecordBatch,
     payload_to_vector,
     vector_to_payload,
 )
@@ -216,7 +225,9 @@ class EncryptedClient:
     ) -> int:
         """Encrypt and outsource objects in bulks (paper uses 1,000).
 
-        Returns the server's total record count after the last bulk.
+        Each bulk travels as one columnar record batch through the
+        server's ``insert_bulk`` method. Returns the server's total
+        record count after the last bulk.
         """
         if len(oids) != len(vectors):
             raise QueryError(
@@ -231,43 +242,52 @@ class EncryptedClient:
                 writer = self._encode_bulk(
                     [int(o) for o in oids[start:stop]], vectors[start:stop]
                 )
-            response = self.rpc.call("insert", writer)
+            response = self.rpc.call("insert_bulk", writer)
             total = response.u64()
         return total
 
     def insert(self, oid: int, vector: np.ndarray) -> int:
-        """Insert a single object (Algorithm 1)."""
+        """Insert a single object (Algorithm 1) — a bulk of one."""
         return self.insert_many([oid], np.asarray(vector)[None, :])
 
     def _encode_bulk(self, oids: list[int], vectors: np.ndarray) -> Writer:
-        """Algorithm 1 for one bulk, with batched encryption."""
+        """Algorithm 1 for one bulk, fully vectorized.
+
+        All object–pivot distances come out of a single
+        :meth:`MetricSpace.d_pairwise` matrix call (rows bit-identical
+        to per-object ``d_batch``), the OPE transform and the pivot
+        permutations are applied to the whole matrix at once, and the
+        bulk is serialized as one columnar
+        :class:`~repro.core.records.RecordBatch` instead of per-record
+        encodings.
+        """
         pivots = self.secret_key.pivots
+        matrix = np.asarray(vectors, dtype=np.float64)
         with self.costs.time(DISTANCE):
-            distance_rows = [
-                self.space.d_batch(vector, pivots) for vector in vectors
-            ]
+            distance_matrix = self.space.d_pairwise(matrix, pivots)
         with self.costs.time(ENCRYPTION):
             payloads = self.secret_key.cipher.encrypt_many(
-                [vector_to_payload(vector) for vector in vectors]
+                [vector_to_payload(row) for row in matrix]
             )
         if self.strategy is Strategy.TRANSFORMED:
             with self.costs.time(ENCRYPTION):
                 # a strictly monotone transform preserves the sort
                 # order, so the server still derives the correct pivot
                 # permutation from the transformed values
-                distance_rows = [
-                    np.asarray(self.ope.encrypt(row)) for row in distance_rows
-                ]
-        writer = Writer()
-        writer.u32(len(oids))
-        for oid, distances, payload in zip(oids, distance_rows, payloads):
-            if self.strategy is Strategy.APPROXIMATE:
-                record = IndexedRecord(
-                    oid, pivot_permutation(distances), None, payload
+                distance_matrix = np.asarray(
+                    self.ope.encrypt(distance_matrix)
                 )
-            else:
-                record = IndexedRecord(oid, None, distances, payload)
-            record.write_to(writer)
+        oid_column = np.array(oids, dtype=np.uint64)
+        if self.strategy is Strategy.APPROXIMATE:
+            batch = RecordBatch(
+                oid_column,
+                pivot_permutations(distance_matrix),
+                None,
+                payloads,
+            )
+        else:
+            batch = RecordBatch(oid_column, None, distance_matrix, payloads)
+        writer = batch.write_to(Writer())
         self.costs.add_count("objects_inserted", len(oids))
         return writer
 

@@ -27,11 +27,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ProtocolError
-from repro.metric.permutations import pivot_permutation
+from repro.metric.permutations import pivot_permutation, pivot_permutations
 from repro.wire.encoding import Reader, Writer
 
 __all__ = [
     "IndexedRecord",
+    "RecordBatch",
     "CandidateEntry",
     "vector_to_payload",
     "payload_to_vector",
@@ -153,6 +154,174 @@ class IndexedRecord:
         if self.distances is not None:
             size += 4 + 8 * self.distances.shape[0]
         return size
+
+
+@dataclass
+class RecordBatch:
+    """A columnar bulk of indexed records (Algorithm 1's wire unit).
+
+    The construction pipeline ships whole bulks as columns — one uint64
+    oid array, one permutation/distance matrix shared by every record of
+    the bulk, and one contiguous payload region — instead of ``count``
+    per-record encodings. A bulk is homogeneous by construction: every
+    record of one insert call carries the same representation (the
+    strategy is fixed per index), so one flags byte describes them all.
+
+    Wire layout::
+
+        u32 count | u8 flags | u64_array oids
+        [flags & 1] i32_matrix permutations   (count rows)
+        [flags & 2] f64_matrix distances      (count rows)
+        blob_region payloads                  (count blobs)
+    """
+
+    oids: np.ndarray
+    permutations: np.ndarray | None
+    distances: np.ndarray | None
+    payloads: list[bytes]
+
+    def __post_init__(self) -> None:
+        self.oids = np.ascontiguousarray(self.oids, dtype=np.uint64)
+        if self.oids.ndim != 1:
+            raise ProtocolError(
+                f"batch oids must be 1-D, got shape {self.oids.shape}"
+            )
+        count = self.oids.shape[0]
+        if self.permutations is None and self.distances is None:
+            raise ProtocolError(
+                "record batch needs permutations or pivot distances"
+            )
+        if self.permutations is not None:
+            self.permutations = np.ascontiguousarray(
+                self.permutations, dtype=np.int32
+            )
+            self._check_matrix("permutations", self.permutations, count)
+        if self.distances is not None:
+            self.distances = np.ascontiguousarray(
+                self.distances, dtype=np.float64
+            )
+            self._check_matrix("distances", self.distances, count)
+            if (
+                self.permutations is not None
+                and self.distances.shape != self.permutations.shape
+            ):
+                raise ProtocolError(
+                    "batch distances must align with the permutations: "
+                    f"{self.distances.shape} vs {self.permutations.shape}"
+                )
+        if len(self.payloads) != count:
+            raise ProtocolError(
+                f"batch carries {len(self.payloads)} payloads for "
+                f"{count} oids"
+            )
+
+    @staticmethod
+    def _check_matrix(name: str, matrix: np.ndarray, count: int) -> None:
+        if matrix.ndim != 2 or matrix.shape[1] == 0:
+            raise ProtocolError(
+                f"batch {name} must be a non-empty 2-D matrix, got "
+                f"shape {matrix.shape}"
+            )
+        if matrix.shape[0] != count:
+            raise ProtocolError(
+                f"batch {name} carries {matrix.shape[0]} rows for "
+                f"{count} oids"
+            )
+
+    def __len__(self) -> int:
+        return int(self.oids.shape[0])
+
+    @property
+    def n_pivots(self) -> int:
+        """Number of pivots the batch was described against."""
+        matrix = (
+            self.permutations
+            if self.permutations is not None
+            else self.distances
+        )
+        assert matrix is not None
+        return int(matrix.shape[1])
+
+    def write_to(self, writer: Writer) -> Writer:
+        """Append the batch's columnar wire encoding to ``writer``."""
+        writer.u32(len(self))
+        flags = (1 if self.permutations is not None else 0) | (
+            2 if self.distances is not None else 0
+        )
+        writer.u8(flags)
+        writer.u64_array(self.oids)
+        if self.permutations is not None:
+            writer.i32_matrix(self.permutations)
+        if self.distances is not None:
+            writer.f64_matrix(self.distances)
+        writer.blob_region(self.payloads)
+        return writer
+
+    @classmethod
+    def read_from(cls, reader: Reader) -> "RecordBatch":
+        """Decode one columnar batch from ``reader``."""
+        count = reader.u32()
+        flags = reader.u8()
+        if flags not in (1, 2, 3):
+            raise ProtocolError(f"invalid record batch flags {flags}")
+        oids = reader.u64_array()
+        if oids.shape[0] != count:
+            raise ProtocolError(
+                f"batch header promises {count} records, oid column "
+                f"carries {oids.shape[0]}"
+            )
+        permutations = reader.i32_matrix() if flags & 1 else None
+        distances = reader.f64_matrix() if flags & 2 else None
+        payloads = reader.blob_region()
+        return cls(oids, permutations, distances, payloads)
+
+    @classmethod
+    def from_records(cls, records: list[IndexedRecord]) -> "RecordBatch":
+        """Columnar view of a homogeneous row-wise record list."""
+        if not records:
+            raise ProtocolError("record batch must not be empty")
+        first = records[0]
+        with_perms = first.permutation is not None
+        with_dists = first.distances is not None
+        for record in records:
+            if (record.permutation is not None) != with_perms or (
+                record.distances is not None
+            ) != with_dists:
+                raise ProtocolError(
+                    "record batch requires a homogeneous representation"
+                )
+        return cls(
+            np.array([record.oid for record in records], dtype=np.uint64),
+            np.stack([r.permutation for r in records]) if with_perms else None,
+            np.stack([r.distances for r in records]) if with_dists else None,
+            [record.payload for record in records],
+        )
+
+    def to_records(self) -> list[IndexedRecord]:
+        """Row-wise records, deriving missing permutations in one call.
+
+        Under the precise/transformed strategies only distances travel;
+        their row-wise stable sort order *is* the pivot permutation
+        (§4.1), recovered here by a single vectorized
+        :func:`~repro.metric.permutations.pivot_permutations` call
+        instead of one argsort per record.
+        """
+        permutations = self.permutations
+        if permutations is None:
+            assert self.distances is not None
+            permutations = pivot_permutations(self.distances)
+        distances = self.distances
+        return [
+            IndexedRecord(
+                int(oid),
+                permutations[position],
+                None if distances is None else distances[position],
+                payload,
+            )
+            for position, (oid, payload) in enumerate(
+                zip(self.oids, self.payloads)
+            )
+        ]
 
 
 @dataclass

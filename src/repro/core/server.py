@@ -8,10 +8,15 @@ permutations (or object–pivot distances under the precise strategy).
 
 The server exposes these RPC methods:
 
-``insert`` / ``delete``
-    Index maintenance from wire records (Algorithm 1's server part:
-    locate the cell tree leaf, store, split if needed). Writers — they
-    take the exclusive side of the server's read–write lock.
+``insert`` / ``insert_bulk`` / ``delete``
+    Index maintenance (Algorithm 1's server part: locate the cell tree
+    leaf, store, split if needed). ``insert`` takes per-record wire
+    encodings; ``insert_bulk`` takes one columnar
+    :class:`~repro.core.records.RecordBatch` — missing permutations are
+    derived for the whole batch in one vectorized call and the records
+    are routed group-wise by :meth:`MIndex.bulk_insert` (one storage
+    write per touched cell). Both produce identical indexes. Writers —
+    they take the exclusive side of the server's read–write lock.
 ``range``
     Algorithm 3 — candidate set of a range query from query–pivot
     distances, after tree pruning and pivot filtering.
@@ -45,7 +50,7 @@ observe a half-split cell tree.
 from __future__ import annotations
 
 from repro.core.locks import ReadWriteLock
-from repro.core.records import CandidateEntry, IndexedRecord
+from repro.core.records import CandidateEntry, IndexedRecord, RecordBatch
 from repro.exceptions import QueryError
 from repro.mindex.index import MIndex
 from repro.net.clock import Clock
@@ -94,6 +99,7 @@ class SimilarityCloudServer:
         self._lock = ReadWriteLock()
         self.dispatcher = RpcDispatcher(clock=clock)
         self.dispatcher.register("insert", self._handle_insert)
+        self.dispatcher.register("insert_bulk", self._handle_insert_bulk)
         self.dispatcher.register("delete", self._handle_delete)
         self.dispatcher.register("range", self._handle_range)
         self.dispatcher.register(
@@ -147,6 +153,16 @@ class SimilarityCloudServer:
         with self._lock.write():
             for record in records:
                 self.index.insert(record)
+            return Writer().u64(len(self.index))
+
+    def _handle_insert_bulk(self, body: Reader) -> Writer:
+        batch = RecordBatch.read_from(body)
+        body.expect_end()
+        # to_records derives any missing permutations (precise strategy)
+        # with one vectorized call for the whole batch
+        records = batch.to_records()
+        with self._lock.write():
+            self.index.bulk_insert(records)
             return Writer().u64(len(self.index))
 
     def _handle_delete(self, body: Reader) -> Writer:

@@ -54,6 +54,8 @@ class OrderPreservingEncryption:
         self._domain: tuple[float, float] | None = None
         self._grid: np.ndarray | None = None
         self._values: np.ndarray | None = None
+        self._slope_forward: float | None = None
+        self._slope_inverse: float | None = None
 
     # -- calibration ---------------------------------------------------------
 
@@ -87,6 +89,14 @@ class OrderPreservingEncryption:
         self._grid = np.linspace(low, high, self._resolution + 1)
         self._values = cumulative / cumulative[-1] * scale
         self._domain = (low, high)
+        # boundary-extrapolation slopes, precomputed once per
+        # calibration instead of on every encrypt/decrypt call
+        self._slope_forward = (self._values[-1] - self._values[-2]) / (
+            self._grid[-1] - self._grid[-2]
+        )
+        self._slope_inverse = (self._grid[-1] - self._grid[-2]) / (
+            self._values[-1] - self._values[-2]
+        )
 
     @property
     def is_fitted(self) -> bool:
@@ -103,22 +113,30 @@ class OrderPreservingEncryption:
     # -- transformation -------------------------------------------------------
 
     def encrypt(self, value: float | np.ndarray) -> float | np.ndarray:
-        """Apply the monotone transformation to a scalar or an array."""
+        """Apply the monotone transformation to a scalar or any array.
+
+        Arrays of any shape (including the construction path's whole
+        object×pivot distance matrix) transform elementwise in one
+        call; row ``i`` of a matrix input equals ``encrypt(matrix[i])``
+        bit for bit.
+        """
         if self._grid is None or self._values is None:
             raise CryptoError("OPE not calibrated; call fit() first")
         arr = np.asarray(value, dtype=np.float64)
         if np.any(arr < 0):
             raise CryptoError("OPE operates on non-negative values")
-        low, high = self.domain
-        # np.interp clamps outside [low, high]; extend with boundary slope
-        # so the function stays strictly increasing everywhere.
+        _low, high = self.domain
+        # np.interp clamps outside [low, high]; extend with the
+        # precomputed boundary slope so the function stays strictly
+        # increasing everywhere.
         out = np.interp(arr, self._grid, self._values)
         over = arr > high
         if np.any(over):
-            slope = (self._values[-1] - self._values[-2]) / (
-                self._grid[-1] - self._grid[-2]
+            out = np.where(
+                over,
+                self._values[-1] + (arr - high) * self._slope_forward,
+                out,
             )
-            out = np.where(over, self._values[-1] + (arr - high) * slope, out)
         if np.isscalar(value) or arr.ndim == 0:
             return float(out)
         return out
@@ -131,10 +149,12 @@ class OrderPreservingEncryption:
         out = np.interp(arr, self._values, self._grid)
         over = arr > self._values[-1]
         if np.any(over):
-            slope = (self._grid[-1] - self._grid[-2]) / (
-                self._values[-1] - self._values[-2]
+            out = np.where(
+                over,
+                self._grid[-1]
+                + (arr - self._values[-1]) * self._slope_inverse,
+                out,
             )
-            out = np.where(over, self._grid[-1] + (arr - self._values[-1]) * slope, out)
         if np.isscalar(value) or arr.ndim == 0:
             return float(out)
         return out

@@ -61,12 +61,49 @@ class LeafCell:
             if value > interval[1]:
                 interval[1] = value
 
-    def rebuild_from(self, records: list[IndexedRecord]) -> None:
-        """Recompute count and intervals from scratch."""
+    def note_records(
+        self,
+        records: list[IndexedRecord],
+        distances: np.ndarray | None = None,
+    ) -> None:
+        """Bulk :meth:`note_record`: count once, reduce intervals
+        vectorized.
+
+        ``distances`` may carry the records' pre-stacked
+        ``(len(records), n_pivots)`` distance matrix; otherwise it is
+        stacked here when every record has distances. The resulting
+        intervals are identical to a per-record loop (min/max reductions
+        are exact).
+        """
+        if not records:
+            return
+        self.count += len(records)
+        if self.intervals is None:
+            return
+        if distances is None:
+            if any(record.distances is None for record in records):
+                self.intervals = None
+                return
+            distances = np.stack([record.distances for record in records])
+        for position, pivot in enumerate(self.prefix):
+            column = distances[:, pivot]
+            low = float(column.min())
+            high = float(column.max())
+            interval = self.intervals[position]
+            if low < interval[0]:
+                interval[0] = low
+            if high > interval[1]:
+                interval[1] = high
+
+    def rebuild_from(
+        self,
+        records: list[IndexedRecord],
+        distances: np.ndarray | None = None,
+    ) -> None:
+        """Recompute count and intervals from scratch (vectorized)."""
         self.count = 0
         self.intervals = [[np.inf, -np.inf] for _ in self.prefix]
-        for record in records:
-            self.note_record(record)
+        self.note_records(records, distances)
 
 
 class InternalCell:
@@ -174,6 +211,32 @@ class CellTree:
         """Whether the leaf may be partitioned one level deeper."""
         return leaf.level < self.max_level
 
+    def split_into(
+        self, leaf: LeafCell, pivots: "list[int] | np.ndarray"
+    ) -> dict[int, LeafCell]:
+        """Replace ``leaf`` with an internal cell carrying one child per
+        pivot, without touching any records.
+
+        The array-based bulk loader partitions records as index arrays
+        and only needs the structural half of a split; callers are
+        responsible for rebuilding each child's count/intervals once its
+        final record group is known.
+        """
+        if not self.can_split(leaf):
+            raise IndexError_(
+                f"cell {leaf.prefix} at max level {self.max_level} "
+                "cannot split"
+            )
+        internal = InternalCell(leaf.prefix)
+        children: dict[int, LeafCell] = {}
+        for pivot in pivots:
+            child = LeafCell(leaf.prefix + (int(pivot),))
+            internal.children[int(pivot)] = child
+            children[int(pivot)] = child
+        self._replace(leaf, internal)
+        self._leaf_cache = None
+        return children
+
     def split_leaf(
         self, leaf: LeafCell, records: list[IndexedRecord]
     ) -> dict[int, tuple[LeafCell, list[IndexedRecord]]]:
@@ -182,24 +245,16 @@ class CellTree:
         Returns ``{pivot: (new_leaf, its_records)}``; the caller persists
         the groups in storage and removes the old cell.
         """
-        if not self.can_split(leaf):
-            raise IndexError_(
-                f"cell {leaf.prefix} at max level {self.max_level} "
-                "cannot split"
-            )
-        internal = InternalCell(leaf.prefix)
         groups: dict[int, list[IndexedRecord]] = {}
         for record in records:
             pivot = int(record.permutation[leaf.level])
             groups.setdefault(pivot, []).append(record)
+        children = self.split_into(leaf, list(groups))
         result: dict[int, tuple[LeafCell, list[IndexedRecord]]] = {}
         for pivot, group in groups.items():
-            child = LeafCell(leaf.prefix + (pivot,))
+            child = children[pivot]
             child.rebuild_from(group)
-            internal.children[pivot] = child
             result[pivot] = (child, group)
-        self._replace(leaf, internal)
-        self._leaf_cache = None
         return result
 
     def _replace(

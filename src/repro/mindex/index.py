@@ -42,7 +42,11 @@ import numpy as np
 
 from repro.core.records import IndexedRecord
 from repro.exceptions import IndexError_, QueryError
-from repro.metric.permutations import inverse_permutation, prefix_promise
+from repro.metric.permutations import (
+    inverse_permutation,
+    pivot_permutations,
+    prefix_promise,
+)
 from repro.mindex.cell_tree import CellTree, LeafCell
 
 __all__ = ["MIndex", "RangeSearchStats"]
@@ -118,25 +122,124 @@ class MIndex:
             self._split(leaf)
 
     def bulk_insert(self, records: list[IndexedRecord]) -> int:
-        """Insert many records; returns the number inserted."""
-        for record in records:
-            self.insert(record)
-        return len(records)
+        """Insert many records group-wise; returns the number inserted.
+
+        Produces exactly the cell tree and record placement of a
+        per-record :meth:`insert` loop (splitting is order-independent:
+        a cell ends up partitioned iff its final record count exceeds
+        the bucket capacity), but routes the whole bulk at once: the
+        permutation-prefix columns are lexsorted so every record bound
+        for the same leaf is contiguous, each touched cell receives its
+        group in one ``append_many`` storage write, and overflow splits
+        are resolved once per cell after its group lands. Works on empty
+        and already-populated indexes alike.
+        """
+        records = list(records)
+        if not records:
+            return 0
+        permutations = self._stacked_permutations(records)
+        depth = self.tree.max_level
+        keys = permutations[:, :depth]
+        # lexsort's last key is the primary one: sort by prefix column
+        # 0 first, then 1, ... — lexicographic permutation-prefix order
+        order = np.lexsort(tuple(keys[:, c] for c in range(depth - 1, -1, -1)))
+        sorted_keys = keys[order]
+        # bounds[level - 1] holds every sorted position where the first
+        # ``level`` prefix columns change between adjacent rows, so each
+        # group end is one searchsorted lookup instead of a rescan of
+        # the remaining rows (keeps routing O(n·depth) overall)
+        changed = np.logical_or.accumulate(
+            sorted_keys[1:] != sorted_keys[:-1], axis=1
+        )
+        bounds = [
+            np.flatnonzero(changed[:, level]) + 1 for level in range(depth)
+        ]
+        position = 0
+        total = len(records)
+        while position < total:
+            leaf = self.tree.locate_leaf(permutations[order[position]])
+            level = len(leaf.prefix)
+            if level == 0:
+                end = total
+            else:
+                level_bounds = bounds[level - 1]
+                cut = np.searchsorted(level_bounds, position, side="right")
+                end = (
+                    int(level_bounds[cut])
+                    if cut < level_bounds.size
+                    else total
+                )
+            # restore input order inside the group, so cell contents are
+            # byte-identical to the per-record insertion path
+            group = [records[i] for i in np.sort(order[position:end])]
+            self.storage.append_many(leaf.prefix, group)
+            leaf.note_records(group)
+            self._n_records += len(group)
+            if leaf.count > self.bucket_capacity and self.tree.can_split(leaf):
+                self._split(leaf)
+            position = end
+        return total
 
     def bulk_load(self, records: list[IndexedRecord]) -> int:
-        """Build the index from scratch in one recursive partitioning.
+        """Build the index from scratch in one top-down partitioning.
 
         Equivalent to inserting every record into an empty index, but
-        partitions top-down without intermediate splits, so every cell
-        is written to storage exactly once — the difference matters on
-        disk backends (see the bulk-load ablation bench). The index
-        must be empty.
+        partitions iteratively on index arrays (no per-record routing,
+        no intermediate splits) with vectorized leaf interval
+        reductions, and persists every final cell exactly once through
+        one ``save_many`` call — the difference matters on disk backends
+        (see the bulk-load ablation bench). The index must be empty.
         """
         if self._n_records:
             raise IndexError_(
                 "bulk_load requires an empty index; use bulk_insert to "
                 "extend an existing one"
             )
+        records = list(records)
+        if not records:
+            return 0
+        permutations = self._stacked_permutations(records)
+        if all(record.distances is not None for record in records):
+            distances = np.stack([record.distances for record in records])
+        else:
+            distances = None
+        root = self.tree.root
+        if not isinstance(root, LeafCell):
+            # zero records but a split tree: the index was emptied via
+            # delete() after splits, which never collapse
+            raise IndexError_(
+                "bulk_load requires a pristine cell tree; rebuild a "
+                "fresh MIndex instead of loading into an emptied one"
+            )
+        pending: list[tuple[LeafCell, np.ndarray]] = [
+            (root, np.arange(len(records), dtype=np.int64))
+        ]
+        cells: dict[tuple[int, ...], list[IndexedRecord]] = {}
+        while pending:
+            leaf, indices = pending.pop()
+            if indices.size <= self.bucket_capacity or not self.tree.can_split(
+                leaf
+            ):
+                group = [records[i] for i in indices]
+                leaf.rebuild_from(
+                    group,
+                    None if distances is None else distances[indices],
+                )
+                if group:
+                    cells[leaf.prefix] = group
+                continue
+            column = permutations[indices, leaf.level]
+            children = self.tree.split_into(leaf, np.unique(column))
+            for pivot, child in children.items():
+                pending.append((child, indices[column == pivot]))
+        self.storage.save_many(cells)
+        self._n_records = len(records)
+        return len(records)
+
+    def _stacked_permutations(
+        self, records: list[IndexedRecord]
+    ) -> np.ndarray:
+        """Validated ``(len(records), n_pivots)`` permutation matrix."""
         for record in records:
             permutation = record.ensure_permutation()
             if permutation.shape[0] != self.n_pivots:
@@ -144,21 +247,9 @@ class MIndex:
                     f"record permutation over {permutation.shape[0]} "
                     f"pivots does not match index with {self.n_pivots}"
                 )
-        self._load_partition(self.tree.root, list(records))
-        self._n_records = len(records)
-        return len(records)
-
-    def _load_partition(self, leaf: LeafCell, records: list[IndexedRecord]) -> None:
-        if len(records) <= self.bucket_capacity or not self.tree.can_split(
-            leaf
-        ):
-            leaf.rebuild_from(records)
-            if records:
-                self.storage.save(leaf.prefix, records)
-            return
-        groups = self.tree.split_leaf(leaf, records)
-        for _pivot, (child, child_records) in groups.items():
-            self._load_partition(child, child_records)
+        return np.stack(
+            [record.permutation for record in records]
+        ).astype(np.int64)
 
     def rebuild_from_storage(self) -> int:
         """Reconstruct the cell tree from the storage backend's cells.
@@ -166,8 +257,11 @@ class MIndex:
         Cell identifiers *are* permutation prefixes, so a restarted
         server can recover the full tree — counts and range-pivot
         intervals included — by walking the (disk) cells, without any
-        client involvement or write amplification. Returns the number
-        of recovered records. Any in-memory state is discarded.
+        client involvement or write amplification. Records stored
+        without a permutation (distances only) get theirs back from one
+        vectorized :func:`~repro.metric.permutations.pivot_permutations`
+        call per cell. Returns the number of recovered records. Any
+        in-memory state is discarded.
         """
         self.tree = CellTree(self.n_pivots, self.tree.max_level)
         self._n_records = 0
@@ -175,8 +269,13 @@ class MIndex:
         for prefix in prefixes:
             leaf = self.tree.ensure_leaf(tuple(prefix))
             records = self.storage.load(prefix)
-            for record in records:
-                record.ensure_permutation()
+            missing = [r for r in records if r.permutation is None]
+            if missing:
+                derived = pivot_permutations(
+                    np.stack([record.distances for record in missing])
+                )
+                for record, row in zip(missing, derived):
+                    record.permutation = row
             leaf.rebuild_from(records)
             self._n_records += len(records)
         return self._n_records
@@ -217,8 +316,11 @@ class MIndex:
         records = self.storage.load(leaf.prefix)
         groups = self.tree.split_leaf(leaf, records)
         self.storage.delete(leaf.prefix)
-        for _pivot, (child, child_records) in groups.items():
-            self.storage.save(child.prefix, child_records)
+        self.storage.save_many(
+            {child.prefix: child_records
+             for _pivot, (child, child_records) in groups.items()}
+        )
+        for _pivot, (child, _child_records) in groups.items():
             # A split may produce a child that itself overflows (all
             # records sharing the next permutation element); recurse.
             if child.count > self.bucket_capacity and self.tree.can_split(child):

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import threading
-from typing import Hashable, Iterator
+from typing import Hashable, Iterator, Mapping
 
 from repro.core.records import IndexedRecord
 from repro.exceptions import StorageError
@@ -36,11 +36,41 @@ class MemoryStorage:
             self.bytes_written += sum(r.wire_size for r in records)
             self.writes += 1
 
+    def save_many(
+        self, cells: Mapping[Hashable, list[IndexedRecord]]
+    ) -> None:
+        """Store (replace) several cells in one call.
+
+        One *physical write* is charged per cell — the same accounting a
+        loop of :meth:`save` calls would produce (which is exactly what
+        this is; ``append_many`` is the method with genuinely different
+        write semantics).
+        """
+        for cell_id, records in cells.items():
+            self.save(cell_id, records)
+
     def append(self, cell_id: Hashable, record: IndexedRecord) -> None:
         """Append one record to a cell, creating it if missing."""
         self._cells.setdefault(cell_id, []).append(record)
         with self._accounting:
             self.bytes_written += record.wire_size
+            self.writes += 1
+
+    def append_many(
+        self, cell_id: Hashable, records: list[IndexedRecord]
+    ) -> None:
+        """Append a group of records to one cell as a single write.
+
+        The whole group lands in one operation, so it is charged as one
+        physical write (the disk backend opens the cell file once) —
+        this is what makes the group-wise bulk-insert path cheaper than
+        per-record :meth:`append` calls.
+        """
+        if not records:
+            return
+        self._cells.setdefault(cell_id, []).extend(records)
+        with self._accounting:
+            self.bytes_written += sum(r.wire_size for r in records)
             self.writes += 1
 
     def load(self, cell_id: Hashable) -> list[IndexedRecord]:

@@ -4,7 +4,9 @@
 raises :class:`~repro.exceptions.ProtocolError` on any truncation or
 type confusion. All multi-byte integers are little-endian; arrays carry
 an element-count prefix and matrices a (rows, cols) shape prefix — the
-matrix codecs are what let a whole query batch travel as one message.
+matrix codecs are what let a whole query batch travel as one message,
+and the ``u64_array``/``blob_region`` codecs are what let a whole
+construction bulk travel as one columnar record batch.
 These primitives underlie every byte that crosses the client/server
 boundary, so communication-cost measurements are exact.
 """
@@ -62,14 +64,20 @@ class Writer:
         return self.u8(1 if value else 0)
 
     def raw(self, data: bytes) -> "Writer":
-        """Append raw bytes without a length prefix."""
-        self._parts.append(bytes(data))
+        """Append raw bytes without a length prefix.
+
+        ``bytes`` input is appended by identity — construction-path
+        payloads (encrypted tokens) are never copied; only mutable
+        ``bytearray``-likes are frozen into a private copy.
+        """
+        self._parts.append(data if type(data) is bytes else bytes(data))
         return self
 
     def blob(self, data: bytes) -> "Writer":
-        """Append length-prefixed bytes."""
+        """Append length-prefixed bytes (``bytes`` passed through
+        by identity, see :meth:`raw`)."""
         self.u32(len(data))
-        self._parts.append(bytes(data))
+        self._parts.append(data if type(data) is bytes else bytes(data))
         return self
 
     def string(self, text: str) -> "Writer":
@@ -92,6 +100,34 @@ class Writer:
             raise ProtocolError(f"i32_array must be 1-D, got shape {a.shape}")
         self.u32(a.shape[0])
         self._parts.append(a.tobytes())
+        return self
+
+    def u64_array(self, arr: np.ndarray) -> "Writer":
+        """Append a length-prefixed uint64 array (e.g. the oid column of
+        a columnar record batch)."""
+        a = np.ascontiguousarray(arr, dtype="<u8")
+        if a.ndim != 1:
+            raise ProtocolError(f"u64_array must be 1-D, got shape {a.shape}")
+        self.u32(a.shape[0])
+        self._parts.append(a.tobytes())
+        return self
+
+    def blob_region(self, blobs: list[bytes]) -> "Writer":
+        """Append a length-prefixed blob region: count, a u32 length
+        column, then every payload concatenated.
+
+        This is the columnar counterpart of repeated :meth:`blob` calls —
+        one length array and one contiguous byte region instead of
+        per-record framing. ``bytes`` payloads are appended by identity
+        (no copies on the construction path).
+        """
+        self.u32(len(blobs))
+        lengths = np.empty(len(blobs), dtype="<u4")
+        for position, blob in enumerate(blobs):
+            lengths[position] = len(blob)
+        self._parts.append(lengths.tobytes())
+        for blob in blobs:
+            self._parts.append(blob if type(blob) is bytes else bytes(blob))
         return self
 
     def f64_matrix(self, arr: np.ndarray) -> "Writer":
@@ -189,6 +225,28 @@ class Reader:
         return np.frombuffer(self._take(count * 4), dtype="<i4").astype(
             np.int32
         )
+
+    def u64_array(self) -> np.ndarray:
+        """Read a length-prefixed uint64 array."""
+        count = self.u32()
+        return np.frombuffer(self._take(count * 8), dtype="<u8").astype(
+            np.uint64
+        )
+
+    def blob_region(self) -> list[bytes]:
+        """Read a columnar blob region written by
+        :meth:`Writer.blob_region`."""
+        count = self.u32()
+        lengths = np.frombuffer(self._take(count * 4), dtype="<u4")
+        total = int(lengths.sum())
+        data = self._take(total)
+        blobs: list[bytes] = []
+        offset = 0
+        for length in lengths:
+            stop = offset + int(length)
+            blobs.append(data[offset:stop])
+            offset = stop
+        return blobs
 
     def f64_matrix(self) -> np.ndarray:
         """Read a shape-prefixed float64 matrix."""

@@ -46,18 +46,38 @@ def yeast_like():
     )
 
 
+def _best_of(builds):
+    """Best-of-N construction: the vectorized pipeline finishes in tens
+    of milliseconds, so a single garbage-collection pause (whose timing
+    depends on how many other test modules ran first) can dwarf one
+    sample. Taking the fastest of three runs — each preceded by a
+    collect() so the pause cannot land mid-measurement — keeps the
+    claim about construction work, not allocator state."""
+    import gc
+
+    best = None
+    for _ in range(3):
+        gc.collect()
+        *handles, report = builds()
+        if best is None or report.overall_time < best[-1].overall_time:
+            best = (*handles, report)
+    return best
+
+
 @pytest.fixture(scope="module")
 def sweeps(yeast_like):
     cand_sizes = [75, 150, 300, 750]
-    cloud, enc_construction = run_encrypted_construction(
-        yeast_like, strategy=Strategy.APPROXIMATE, seed=11
+    cloud, enc_construction = _best_of(
+        lambda: run_encrypted_construction(
+            yeast_like, strategy=Strategy.APPROXIMATE, seed=11
+        )
     )
     enc_rows = run_encrypted_search_sweep(
         cloud.new_client(), yeast_like, k=30,
         cand_sizes=cand_sizes, n_queries=20,
     )
-    server, plain_client, plain_construction = run_plain_construction(
-        yeast_like, seed=11
+    server, plain_client, plain_construction = _best_of(
+        lambda: run_plain_construction(yeast_like, seed=11)
     )
     plain_rows = run_plain_search_sweep(
         server, plain_client, yeast_like, k=30,

@@ -349,3 +349,76 @@ class TestNoMetricInsideModule:
             ".pairwise(",
         ):
             assert name not in source, name
+
+
+class TestRebuildFromStorage:
+    """Server-restart recovery, including bulk-loaded indexes and the
+    vectorized per-cell permutation derivation."""
+
+    def _snapshot(self, index):
+        return {
+            leaf.prefix: (
+                leaf.count,
+                None
+                if leaf.intervals is None
+                else [tuple(iv) for iv in leaf.intervals],
+            )
+            for leaf in index.tree.leaves()
+        }
+
+    def test_restart_recovers_incremental_index(self, rng):
+        index, data, pivots, d = _build_index(rng, bucket_capacity=15)
+        before = self._snapshot(index)
+        restarted = MIndex(
+            _N_PIVOTS, 15, index.storage, max_level=index.tree.max_level
+        )
+        assert restarted.rebuild_from_storage() == len(data)
+        assert self._snapshot(restarted) == before
+        q = rng.normal(size=_DIM) * 3
+        q_dists = d.batch(q, pivots)
+        a = sorted(r.oid for r in index.range_search(q_dists, 4.0))
+        b = sorted(r.oid for r in restarted.range_search(q_dists, 4.0))
+        assert a == b
+
+    def test_restart_recovers_bulk_loaded_index(self, rng):
+        d = L1Distance()
+        data = rng.normal(size=(250, _DIM)) * 3
+        pivots = data[rng.choice(250, _N_PIVOTS, replace=False)]
+        records = []
+        for oid, vector in enumerate(data):
+            dists = d.batch(vector, pivots)
+            records.append(
+                IndexedRecord(
+                    oid, pivot_permutation(dists), dists,
+                    vector_to_payload(vector),
+                )
+            )
+        index = MIndex(_N_PIVOTS, 20, MemoryStorage(), max_level=4)
+        index.bulk_load(records)
+        restarted = MIndex(_N_PIVOTS, 20, index.storage, max_level=4)
+        assert restarted.rebuild_from_storage() == len(records)
+        assert self._snapshot(restarted) == self._snapshot(index)
+
+    def test_distance_only_records_get_permutations_per_cell(self, rng):
+        """Cells holding records without a stored permutation recover it
+        from one vectorized pivot_permutations call per cell."""
+        index, _data, _pivots, _d = _build_index(rng, bucket_capacity=15)
+        storage = index.storage
+        for cell in list(storage.cells()):
+            stripped = [
+                IndexedRecord(r.oid, None, r.distances, r.payload)
+                for r in storage.load(cell)
+            ]
+            storage.save(cell, stripped)
+        restarted = MIndex(
+            _N_PIVOTS, 15, storage, max_level=index.tree.max_level
+        )
+        assert restarted.rebuild_from_storage() == len(index)
+        assert self._snapshot(restarted) == self._snapshot(index)
+        for cell in storage.cells():
+            for record in storage.load(cell):
+                assert record.permutation is not None
+                np.testing.assert_array_equal(
+                    record.permutation,
+                    pivot_permutation(record.distances),
+                )

@@ -59,8 +59,18 @@ class TestBulkLoad:
         loaded.bulk_load(records)
         disk_b = DiskStorage(tmp_path / "insert")
         incremental = MIndex(_N_PIVOTS, 15, disk_b, max_level=3)
-        incremental.bulk_insert(records)
+        for record in records:
+            incremental.insert(record)
+        disk_c = DiskStorage(tmp_path / "bulk-insert")
+        grouped = MIndex(_N_PIVOTS, 15, disk_c, max_level=3)
+        grouped.bulk_insert(records)
+        # one save per final cell beats per-record appends by far
         assert disk_a.writes < disk_b.writes / 3
+        # group-wise bulk_insert writes once per touched cell (plus
+        # split rewrites), far below one write per record
+        assert disk_c.writes < disk_b.writes / 3
+        # and bulk_load never rewrites a cell at all
+        assert disk_a.writes <= disk_c.writes
 
     def test_requires_empty_index(self, rng):
         records, *_ = _records(rng, n=30)
@@ -68,6 +78,21 @@ class TestBulkLoad:
         index.insert(records[0])
         with pytest.raises(IndexError_):
             index.bulk_load(records[1:])
+
+    def test_rejects_emptied_but_split_tree(self, rng):
+        # delete() never collapses splits, so an index emptied after a
+        # split has 0 records but a non-pristine tree: bulk_load must
+        # refuse it cleanly instead of loading into stale structure
+        records, *_ = _records(rng, n=40)
+        index = MIndex(_N_PIVOTS, 10, MemoryStorage())
+        for record in records:
+            index.insert(record)
+        assert index.depth > 0
+        for record in records:
+            index.delete(record.oid, record.ensure_permutation())
+        assert len(index) == 0
+        with pytest.raises(IndexError_, match="pristine"):
+            index.bulk_load(records)
 
     def test_wrong_pivot_count_rejected(self, rng):
         index = MIndex(4, 15, MemoryStorage())

@@ -102,3 +102,39 @@ class TestDecrypt:
         ope = _fitted()
         value = 300.0
         assert ope.decrypt(ope.encrypt(value)) == pytest.approx(value, rel=1e-9)
+
+
+class TestMatrixInput:
+    def test_matrix_rows_equal_per_row_encryption(self):
+        """The construction path transforms the whole object x pivot
+        distance matrix in one call; every row must come out bit-equal
+        to encrypting that row alone."""
+        ope = _fitted()
+        rng = np.random.default_rng(3)
+        matrix = rng.uniform(0.0, 160.0, size=(40, 7))  # spills past the domain
+        encrypted = np.asarray(ope.encrypt(matrix))
+        assert encrypted.shape == matrix.shape
+        for row_in, row_out in zip(matrix, encrypted):
+            np.testing.assert_array_equal(
+                row_out, np.asarray(ope.encrypt(row_in))
+            )
+
+    def test_matrix_decrypt_roundtrip(self):
+        ope = _fitted()
+        rng = np.random.default_rng(4)
+        matrix = rng.uniform(0.0, 200.0, size=(10, 5))
+        recovered = np.asarray(ope.decrypt(np.asarray(ope.encrypt(matrix))))
+        np.testing.assert_allclose(recovered, matrix, atol=1e-6)
+
+    def test_boundary_slopes_precomputed_at_calibration(self):
+        """Extrapolation slopes are derived once in _calibrate, not per
+        call — and match the grid's boundary segment exactly."""
+        ope = _fitted()
+        forward = (ope._values[-1] - ope._values[-2]) / (
+            ope._grid[-1] - ope._grid[-2]
+        )
+        inverse = (ope._grid[-1] - ope._grid[-2]) / (
+            ope._values[-1] - ope._values[-2]
+        )
+        assert ope._slope_forward == forward
+        assert ope._slope_inverse == inverse

@@ -6,9 +6,11 @@ import pytest
 from repro.core.records import (
     CandidateEntry,
     IndexedRecord,
+    RecordBatch,
     payload_to_vector,
     vector_to_payload,
 )
+from repro.metric.permutations import pivot_permutation
 from repro.exceptions import ProtocolError
 from repro.wire.encoding import Reader, Writer
 
@@ -138,3 +140,100 @@ class TestVectorPayloads:
     def test_empty_rejected(self):
         with pytest.raises(ProtocolError):
             payload_to_vector(b"")
+
+
+class TestRecordBatch:
+    def _batch(self, *, with_perms=True, with_dists=True, n=6, p=5):
+        rng = np.random.default_rng(7)
+        distances = rng.uniform(0.0, 10.0, size=(n, p))
+        permutations = np.argsort(distances, axis=1).astype(np.int32)
+        return RecordBatch(
+            np.arange(n, dtype=np.uint64),
+            permutations if with_perms else None,
+            distances if with_dists else None,
+            [bytes([i]) * (i + 1) for i in range(n)],
+        )
+
+    @pytest.mark.parametrize(
+        "with_perms,with_dists", [(True, False), (False, True), (True, True)]
+    )
+    def test_wire_roundtrip(self, with_perms, with_dists):
+        batch = self._batch(with_perms=with_perms, with_dists=with_dists)
+        writer = batch.write_to(Writer())
+        reader = Reader(writer.getvalue())
+        decoded = RecordBatch.read_from(reader)
+        reader.expect_end()
+        np.testing.assert_array_equal(decoded.oids, batch.oids)
+        if with_perms:
+            np.testing.assert_array_equal(
+                decoded.permutations, batch.permutations
+            )
+        else:
+            assert decoded.permutations is None
+        if with_dists:
+            np.testing.assert_array_equal(decoded.distances, batch.distances)
+        else:
+            assert decoded.distances is None
+        assert decoded.payloads == batch.payloads
+
+    def test_to_records_derives_permutations_in_one_call(self):
+        batch = self._batch(with_perms=False, with_dists=True)
+        records = batch.to_records()
+        for position, record in enumerate(records):
+            assert record.oid == position
+            np.testing.assert_array_equal(
+                record.permutation,
+                pivot_permutation(batch.distances[position]),
+            )
+            np.testing.assert_array_equal(
+                record.distances, batch.distances[position]
+            )
+            assert record.payload == batch.payloads[position]
+
+    def test_from_records_roundtrip(self):
+        batch = self._batch()
+        records = batch.to_records()
+        rebuilt = RecordBatch.from_records(records)
+        np.testing.assert_array_equal(rebuilt.oids, batch.oids)
+        np.testing.assert_array_equal(
+            rebuilt.permutations, batch.permutations
+        )
+        np.testing.assert_array_equal(rebuilt.distances, batch.distances)
+        assert rebuilt.payloads == batch.payloads
+
+    def test_from_records_rejects_mixed_representations(self):
+        mixed = [
+            IndexedRecord(0, _perm(), None, b"a"),
+            IndexedRecord(1, None, np.ones(5), b"b"),
+        ]
+        with pytest.raises(ProtocolError):
+            RecordBatch.from_records(mixed)
+
+    def test_needs_a_representation(self):
+        with pytest.raises(ProtocolError):
+            RecordBatch(np.arange(2, dtype=np.uint64), None, None, [b"", b""])
+
+    def test_misaligned_payloads_rejected(self):
+        with pytest.raises(ProtocolError):
+            RecordBatch(
+                np.arange(3, dtype=np.uint64),
+                np.zeros((3, 4), dtype=np.int32),
+                None,
+                [b"only-one"],
+            )
+
+    def test_misaligned_matrix_rejected(self):
+        with pytest.raises(ProtocolError):
+            RecordBatch(
+                np.arange(3, dtype=np.uint64),
+                np.zeros((2, 4), dtype=np.int32),
+                None,
+                [b"", b"", b""],
+            )
+
+    def test_invalid_flags_rejected(self):
+        writer = Writer()
+        writer.u32(0)
+        writer.u8(0)
+        with pytest.raises(ProtocolError):
+            RecordBatch.read_from(Reader(writer.getvalue()))

@@ -108,6 +108,33 @@ class _StorageContract:
         assert storage.bytes_written == 0
         assert storage.reads == 0
 
+    def test_save_many_charges_one_write_per_cell(self, tmp_path):
+        storage = self.make(tmp_path)
+        storage.save_many(
+            {("a",): [_record(1), _record(2)], ("b",): [_record(3)]}
+        )
+        assert [r.oid for r in storage.load(("a",))] == [1, 2]
+        assert [r.oid for r in storage.load(("b",))] == [3]
+        # same accounting as a loop of save() calls
+        assert storage.writes == 2
+        assert storage.bytes_written > 0
+
+    def test_append_many_is_one_physical_write(self, tmp_path):
+        storage = self.make(tmp_path)
+        storage.append(("c",), _record(1))
+        writes_before = storage.writes
+        storage.append_many(("c",), [_record(2), _record(3)])
+        assert [r.oid for r in storage.load(("c",))] == [1, 2, 3]
+        # the whole group lands as ONE physical write — the semantic
+        # the bulk-insert path's write-amplification claims rest on
+        assert storage.writes == writes_before + 1
+
+    def test_append_many_empty_group_is_noop(self, tmp_path):
+        storage = self.make(tmp_path)
+        storage.append_many(("c",), [])
+        assert storage.writes == 0
+        assert storage.load(("c",)) == []
+
     def test_payloads_survive_roundtrip(self, tmp_path):
         storage = self.make(tmp_path)
         record = IndexedRecord(

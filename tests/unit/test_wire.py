@@ -175,3 +175,61 @@ class TestMatrices:
         data = Writer().f64_matrix(np.ones((3, 3))).getvalue()
         with pytest.raises(ProtocolError):
             Reader(data[:-8]).f64_matrix()
+
+
+class TestZeroCopyBytes:
+    def test_blob_passes_bytes_through_by_identity(self):
+        """Construction-path payloads (encrypted tokens) must not be
+        duplicated on encode: an exact ``bytes`` input is appended to
+        the buffer by identity."""
+        data = b"encrypted-token-payload"
+        writer = Writer().blob(data)
+        assert any(part is data for part in writer._parts)
+        assert Reader(writer.getvalue()).blob() == data
+
+    def test_raw_passes_bytes_through_by_identity(self):
+        data = b"raw-bytes"
+        writer = Writer().raw(data)
+        assert any(part is data for part in writer._parts)
+
+    def test_bytearray_still_copied(self):
+        mutable = bytearray(b"mutable")
+        writer = Writer().blob(mutable)
+        mutable[0] = 0  # mutation after encode must not leak in
+        assert Reader(writer.getvalue()).blob() == b"mutable"
+
+    def test_blob_region_passes_bytes_through_by_identity(self):
+        blobs = [b"one", b"two", b"three"]
+        writer = Writer().blob_region(blobs)
+        for blob in blobs:
+            assert any(part is blob for part in writer._parts)
+
+
+class TestColumnarCodecs:
+    def test_u64_array_roundtrip(self):
+        values = np.array([0, 1, 2**40, 2**64 - 1], dtype=np.uint64)
+        reader = Reader(Writer().u64_array(values).getvalue())
+        out = reader.u64_array()
+        assert out.dtype == np.uint64
+        np.testing.assert_array_equal(out, values)
+        reader.expect_end()
+
+    def test_u64_array_rejects_matrix(self):
+        with pytest.raises(ProtocolError):
+            Writer().u64_array(np.zeros((2, 2), dtype=np.uint64))
+
+    def test_blob_region_roundtrip(self):
+        blobs = [b"", b"a", b"bc", bytes(range(256))]
+        reader = Reader(Writer().blob_region(blobs).getvalue())
+        assert reader.blob_region() == blobs
+        reader.expect_end()
+
+    def test_empty_blob_region(self):
+        reader = Reader(Writer().blob_region([]).getvalue())
+        assert reader.blob_region() == []
+        reader.expect_end()
+
+    def test_truncated_blob_region_rejected(self):
+        encoded = Writer().blob_region([b"abcdef"]).getvalue()
+        with pytest.raises(ProtocolError):
+            Reader(encoded[:-2]).blob_region()
