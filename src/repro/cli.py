@@ -1,10 +1,13 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands for kicking the tires without writing code:
+Four commands for kicking the tires without writing code:
 
 * ``info`` — version, implemented systems and their privacy levels,
 * ``demo`` — build an encrypted deployment over a named dataset, run a
   query sweep and print the paper-style cost table,
+* ``serve`` — stand up a similarity-cloud server over a named dataset
+  on a real TCP port (legacy threaded transport or the pipelined
+  asyncio transport),
 * ``attack`` — play the compromised server against a fresh deployment
   and report what leaks under the chosen strategy.
 """
@@ -13,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 import numpy as np
 
@@ -112,6 +116,42 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset, **(
+        {"n_records": args.records} if args.dataset == "cophir" else {}
+    ))
+    strategy = _parse_strategy(args.strategy)
+    print(f"building encrypted deployment over {dataset.name} "
+          f"({dataset.n_records} x {dataset.dimension}, "
+          f"strategy={strategy.value}, transport={args.transport}) ...")
+    cloud = SimilarityCloud.build(
+        dataset.vectors,
+        distance=dataset.distance,
+        n_pivots=dataset.n_pivots,
+        bucket_capacity=dataset.bucket_capacity,
+        strategy=strategy,
+        seed=args.seed,
+        transport=args.transport,
+    )
+    cloud.owner.outsource(range(dataset.n_records), dataset.vectors)
+    server = cloud._tcp_server
+    print(f"serving {len(cloud.server.index)} records on "
+          f"{server.host}:{server.port}")
+    try:
+        if args.duration is None:
+            print("press Ctrl-C to stop")
+            while True:
+                time.sleep(3600)
+        elif args.duration > 0:
+            time.sleep(args.duration)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        cloud.close()
+        print("server stopped")
+    return 0
+
+
 def _cmd_attack(args: argparse.Namespace) -> int:
     strategy = _parse_strategy(args.strategy)
     rng = np.random.default_rng(args.seed)
@@ -177,6 +217,22 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--cand-sizes", type=int, nargs="*", dest="cand_sizes")
     demo.add_argument("--seed", type=int, default=0)
 
+    serve = sub.add_parser(
+        "serve", help="stand up a similarity-cloud server on a TCP port"
+    )
+    serve.add_argument("--dataset", default="yeast", choices=DATASET_NAMES)
+    serve.add_argument("--strategy", default="precise")
+    serve.add_argument(
+        "--transport", default="tcp-async", choices=["tcp", "tcp-async"],
+        help="legacy threaded transport or the pipelined asyncio stack",
+    )
+    serve.add_argument("--records", type=int, default=3000,
+                       help="collection size (cophir only)")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="seconds to serve (default: until Ctrl-C; "
+                            "0 = start, print the port, and stop)")
+    serve.add_argument("--seed", type=int, default=0)
+
     attack = sub.add_parser("attack", help="simulate a compromised server")
     attack.add_argument("--strategy", default="precise")
     attack.add_argument("--records", type=int, default=1000)
@@ -188,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
 _COMMANDS = {
     "info": _cmd_info,
     "demo": _cmd_demo,
+    "serve": _cmd_serve,
     "attack": _cmd_attack,
 }
 

@@ -23,12 +23,17 @@ import numpy as np
 from repro.core.client import DataOwner, EncryptedClient, Strategy
 from repro.core.server import SimilarityCloudServer
 from repro.crypto.keys import SecretKey
+from repro.exceptions import ChannelError
 from repro.metric.distances import Distance
 from repro.metric.space import MetricSpace
+from repro.net.aio import AsyncTcpServer
 from repro.net.channel import InProcessChannel, TcpServer
 from repro.net.rpc import RpcClient
 
 __all__ = ["SimilarityCloud"]
+
+#: transport names accepted by :meth:`SimilarityCloud.build`
+TRANSPORTS = ("inprocess", "tcp", "tcp-async")
 
 
 class SimilarityCloud:
@@ -43,7 +48,7 @@ class SimilarityCloud:
         dimension: int,
         latency: float,
         bandwidth: float | None,
-        tcp_server: TcpServer | None = None,
+        tcp_server: TcpServer | AsyncTcpServer | None = None,
     ) -> None:
         self.server = server
         self.owner = owner
@@ -68,6 +73,7 @@ class SimilarityCloud:
         latency: float = 50e-6,
         bandwidth: float | None = 1.25e9,
         use_tcp: bool = False,
+        transport: str | None = None,
         pivot_strategy: str = "random",
     ) -> "SimilarityCloud":
         """Build a server and a data owner over a fresh channel.
@@ -75,16 +81,29 @@ class SimilarityCloud:
         ``seed`` drives pivot selection and the cipher key; with the
         default in-process channel the communication-time model uses
         ``latency`` (seconds, one way) and ``bandwidth`` (bytes/s).
-        ``use_tcp=True`` starts a real loopback TCP server instead.
+        ``transport`` selects the wire: ``"inprocess"`` (default),
+        ``"tcp"`` (legacy threaded loopback server, equivalent to the
+        older ``use_tcp=True``), or ``"tcp-async"`` (the pipelined
+        asyncio server; every client channel multiplexes requests with
+        correlation ids over one socket).
         """
+        if transport is None:
+            transport = "tcp" if use_tcp else "inprocess"
+        if transport not in TRANSPORTS:
+            raise ChannelError(
+                f"unknown transport {transport!r}; choose from "
+                f"{', '.join(TRANSPORTS)}"
+            )
         data = np.asarray(data, dtype=np.float64)
         dimension = data.shape[1]
         server = SimilarityCloudServer(
             n_pivots, bucket_capacity, storage=storage, max_level=max_level
         )
-        tcp_server: TcpServer | None = None
-        if use_tcp:
-            tcp_server = TcpServer(server.handle)
+        tcp_server: TcpServer | AsyncTcpServer | None = None
+        if transport == "tcp":
+            tcp_server = server.serve_tcp()
+        elif transport == "tcp-async":
+            tcp_server = server.serve_async()
         rng = np.random.default_rng(seed) if seed is not None else None
         owner_space = MetricSpace(distance, dimension)
         key = SecretKey.generate(

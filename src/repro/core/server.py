@@ -126,6 +126,32 @@ class SimilarityCloudServer:
         """
         return self.dispatcher.handle(request)
 
+    def serve_tcp(self, *, host: str = "127.0.0.1", port: int = 0, **kwargs):
+        """Expose this server over the legacy threaded TCP transport.
+
+        Returns a started :class:`~repro.net.channel.TcpServer`; extra
+        keyword arguments pass through (e.g. ``idle_timeout``).
+        """
+        from repro.net.channel import TcpServer
+
+        return TcpServer(self.handle, host=host, port=port, **kwargs)
+
+    def serve_async(self, *, host: str = "127.0.0.1", port: int = 0, **kwargs):
+        """Expose this server over the pipelined asyncio transport.
+
+        Returns a started :class:`~repro.net.aio.AsyncTcpServer`; extra
+        keyword arguments pass through (``max_workers``,
+        ``max_inflight_per_connection``, ``max_pending``,
+        ``chunk_size``). Handlers run on the async server's executor, so
+        the read–write lock semantics and cost accounting are exactly
+        those of the threaded transport; legacy
+        :class:`~repro.net.channel.TcpChannel` clients are served
+        unmodified on the same port.
+        """
+        from repro.net.aio import AsyncTcpServer
+
+        return AsyncTcpServer(self.handle, host=host, port=port, **kwargs)
+
     @property
     def server_time(self) -> float:
         """Accumulated processing time across all handled calls."""

@@ -74,6 +74,15 @@ class ChannelError(ReproError):
     """A network channel failed to transmit or the peer closed."""
 
 
+class ServerBusyError(ChannelError):
+    """The server shed this request because its queue was full.
+
+    Raised on the client when the async server's load-shedding limit
+    (``max_pending``) is hit; the request was never dispatched, so the
+    caller may safely retry after backing off.
+    """
+
+
 class QueryError(ReproError):
     """A similarity query was malformed (e.g. negative radius, k < 1)."""
 

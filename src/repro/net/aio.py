@@ -1,0 +1,800 @@
+"""Asyncio network stack: pipelined server and channels (framing v2).
+
+The legacy transport (:class:`~repro.net.channel.TcpServer`) dedicates
+one thread per connection and serves one request at a time per
+connection. This module replaces both limits while leaving the RPC
+layer and the server's locking semantics untouched:
+
+* :class:`AsyncTcpServer` — a single event loop multiplexes every
+  connection; each request frame carries a correlation id
+  (:mod:`repro.wire.frames`), so one connection can have many requests
+  in flight and receive the responses out of order. Handlers run on a
+  thread-pool executor, exactly like the legacy thread-per-connection
+  dispatch, so the :class:`~repro.core.locks.ReadWriteLock` and cost
+  accounting in :class:`~repro.core.server.SimilarityCloudServer` work
+  unchanged.
+* **Backpressure** — each connection has a bounded in-flight window
+  (the server stops reading a connection that exceeds it, letting TCP
+  flow control slow the client), every write awaits ``drain()``, and a
+  server-wide ``max_pending`` bound sheds excess requests with an
+  explicit error frame (surfacing client-side as
+  :class:`~repro.exceptions.ServerBusyError`) instead of queueing
+  without limit.
+* **Streaming responses** — responses larger than ``chunk_size`` leave
+  as several chunk frames; the client reassembles them
+  (:class:`~repro.wire.frames.FrameAssembler`). Large candidate sets
+  therefore never monopolize a connection's write path.
+* **Compatibility** — the first four bytes of a connection distinguish
+  the v2 magic from a legacy length prefix, so unmodified legacy
+  :class:`~repro.net.channel.TcpChannel` clients are served on the same
+  port (sequentially, as before).
+
+Client side, :class:`AsyncTcpChannel` is the asyncio-native channel
+(used from coroutines; concurrent ``request()`` calls pipeline on one
+socket), :class:`AsyncRpcClient` speaks the RPC envelope over it, and
+:class:`PipelinedTcpChannel` is a synchronous, thread-safe facade: many
+threads can share one pipelined connection, each blocking only on its
+own response — this is what lets a pool of
+:class:`~repro.core.client.EncryptedClient` workers multiplex one
+socket, and it is the client shape the sharded scatter-gather cluster
+(ROADMAP item 1) needs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import concurrent.futures
+import itertools
+import socket
+import struct
+import threading
+import time
+from typing import Callable
+
+from repro.exceptions import ChannelError, ProtocolError, ServerBusyError
+from repro.net.channel import Channel
+from repro.net.rpc import RpcServerError, decode_response, encode_request
+from repro.wire.encoding import Reader, Writer
+from repro.wire.frames import (
+    FLAG_LAST,
+    FRAME_MAGIC,
+    HEADER_SIZE,
+    KIND_ERROR,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    MAX_PAYLOAD,
+    FrameAssembler,
+    FrameHeader,
+    encode_frame,
+    response_frames,
+)
+
+__all__ = [
+    "AsyncTcpServer",
+    "AsyncTcpChannel",
+    "AsyncRpcClient",
+    "PipelinedTcpChannel",
+]
+
+_LEGACY_FRAME = struct.Struct("<I")
+
+#: error-frame payload codes (first payload byte)
+_ERROR_OVERLOADED = 0
+_ERROR_FAILED = 1
+
+
+def _encode_error(code: int, message: str) -> bytes:
+    return bytes([code]) + message.encode("utf-8")
+
+
+def _decode_error(payload: bytes) -> ChannelError:
+    code = payload[0] if payload else _ERROR_FAILED
+    message = payload[1:].decode("utf-8", errors="replace")
+    if code == _ERROR_OVERLOADED:
+        return ServerBusyError(message)
+    return ChannelError(f"server-side failure: {message}")
+
+
+class _PipelinedConnection:
+    """Per-connection write path for the pipelined framing.
+
+    Response frames are written straight to the transport from loop
+    callbacks — no per-request task or write lock, because the loop
+    serializes callbacks already. When the transport buffer passes the
+    high-water mark (a slow-reading client), subsequent responses queue
+    here instead and a single drain task awaits ``writer.drain()``
+    before flushing them. Queued responses keep their in-flight window
+    slots, so once the window fills the server stops reading the
+    connection — explicit backpressure end to end.
+    """
+
+    high_water = 1 << 20
+
+    def __init__(
+        self, server: "AsyncTcpServer", writer: asyncio.StreamWriter
+    ) -> None:
+        self._server = server
+        self._writer = writer
+        self.window = asyncio.Semaphore(server._max_inflight)
+        self._deferred: collections.deque[tuple[tuple[bytes, ...], bool]] = (
+            collections.deque()
+        )
+        self._flushed = asyncio.Event()
+        self._flushed.set()
+
+    def send(self, *frames: bytes, release: bool = False) -> None:
+        """Write ``frames``; with ``release``, free one window slot once
+        they have actually reached the transport (immediately on the
+        fast path, after the drain on the slow path)."""
+        if not self._flushed.is_set():
+            self._deferred.append((frames, release))
+            return
+        self._write(frames)
+        if (
+            self._writer.transport.get_write_buffer_size() > self.high_water
+        ):
+            self._flushed.clear()
+            task = self._server._loop.create_task(self._drain())
+            self._server._tasks.add(task)
+            task.add_done_callback(self._server._tasks.discard)
+            if release:
+                self._deferred.append(((), True))
+                return
+        if release:
+            self.window.release()
+
+    async def flushed(self) -> None:
+        """Wait until any deferred writes have drained."""
+        await self._flushed.wait()
+
+    def _write(self, frames: tuple[bytes, ...]) -> None:
+        try:
+            for frame in frames:
+                self._writer.write(frame)
+        except (ConnectionError, OSError, RuntimeError):
+            pass  # client went away mid-response; drop the frames
+
+    async def _drain(self) -> None:
+        try:
+            while True:
+                try:
+                    await self._writer.drain()
+                except (ConnectionError, OSError):
+                    pass  # disconnected: remaining flushes are no-ops
+                if not self._deferred:
+                    return
+                frames, release = self._deferred.popleft()
+                self._write(frames)
+                if release:
+                    self.window.release()
+        finally:
+            # on cancellation, still free the queued window slots
+            while self._deferred:
+                _, release = self._deferred.popleft()
+                if release:
+                    self.window.release()
+            self._flushed.set()
+
+
+class AsyncTcpServer:
+    """Pipelined asyncio TCP server wrapping a ``bytes -> bytes`` handler.
+
+    The event loop runs on a dedicated daemon thread, so the server is
+    drop-in usable from synchronous code — construct, read
+    :attr:`port`, and call :meth:`shutdown` (or use as a context
+    manager), just like :class:`~repro.net.channel.TcpServer`.
+
+    Parameters
+    ----------
+    handler:
+        Request entry point (e.g. ``SimilarityCloudServer.handle``).
+        Runs on the executor; must be thread-safe, which the
+        dispatcher's per-handler locking already guarantees.
+    max_workers:
+        Executor width for concurrent handler execution.
+    max_inflight_per_connection:
+        Per-connection pipelining window; a connection with this many
+        undispatched responses stops being read until one drains.
+    max_pending:
+        Server-wide bound on dispatched-but-unanswered requests; beyond
+        it, new requests are shed with a retryable error frame
+        (counted in :attr:`shed_requests`).
+    chunk_size:
+        Responses larger than this stream back in chunks of this size.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[bytes], bytes],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: int = 8,
+        max_inflight_per_connection: int = 32,
+        max_pending: int = 256,
+        chunk_size: int = 256 * 1024,
+    ) -> None:
+        if max_workers <= 0:
+            raise ChannelError(f"max_workers must be positive: {max_workers}")
+        if max_inflight_per_connection <= 0:
+            raise ChannelError(
+                "max_inflight_per_connection must be positive: "
+                f"{max_inflight_per_connection}"
+            )
+        if max_pending <= 0:
+            raise ChannelError(f"max_pending must be positive: {max_pending}")
+        if chunk_size <= 0:
+            raise ChannelError(f"chunk_size must be positive: {chunk_size}")
+        self._handler = handler
+        self._max_inflight = max_inflight_per_connection
+        self._max_pending = max_pending
+        self._chunk_size = chunk_size
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="aio-handler"
+        )
+        self._pending = 0
+        self._tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._sockname: tuple[str, int] | None = None
+        #: requests answered (both framings, including failures)
+        self.requests_served = 0
+        #: requests refused because ``max_pending`` was reached
+        self.shed_requests = 0
+        self._loop: asyncio.AbstractEventLoop | None = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="aio-server", daemon=True
+        )
+        self._thread.start()
+        try:
+            asyncio.run_coroutine_threadsafe(
+                self._start(host, port), self._loop
+            ).result(30)
+        except OSError as exc:
+            self._stop_loop()
+            raise ChannelError(f"cannot bind to {host}:{port}: {exc}") from exc
+
+    async def _start(self, host: str, port: int) -> None:
+        self._server = await asyncio.start_server(
+            self._serve_connection, host, port
+        )
+        self._sockname = self._server.sockets[0].getsockname()[:2]
+
+    @property
+    def host(self) -> str:
+        """Bound host address."""
+        return self._sockname[0]
+
+    @property
+    def port(self) -> int:
+        """Bound port (useful when constructed with port 0)."""
+        return self._sockname[1]
+
+    @property
+    def pending(self) -> int:
+        """Requests currently dispatched and awaiting their response."""
+        return self._pending
+
+    def connect(self) -> "PipelinedTcpChannel":
+        """Open a synchronous pipelined channel to this server."""
+        return PipelinedTcpChannel(self.host, self.port)
+
+    # -- connection handling ----------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._writers.add(writer)
+        try:
+            first = await reader.readexactly(_LEGACY_FRAME.size)
+            (word,) = _LEGACY_FRAME.unpack(first)
+            if word == FRAME_MAGIC:
+                await self._serve_pipelined(reader, writer, first)
+            else:
+                await self._serve_legacy(reader, writer, word)
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionError,
+            OSError,
+            ProtocolError,
+        ):
+            pass  # disconnect or garbage framing: drop the connection
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_legacy(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        length: int,
+    ) -> None:
+        """Serve an unmodified legacy client: sequential, in-order."""
+        while True:
+            if length > MAX_PAYLOAD:
+                return
+            payload = await reader.readexactly(length)
+            response = await self._run_handler(payload)
+            writer.write(_LEGACY_FRAME.pack(len(response)) + response)
+            await writer.drain()
+            self.requests_served += 1
+            (length,) = _LEGACY_FRAME.unpack(
+                await reader.readexactly(_LEGACY_FRAME.size)
+            )
+
+    async def _serve_pipelined(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        first: bytes,
+    ) -> None:
+        conn = _PipelinedConnection(self, writer)
+        buffer = bytearray(first)
+        while True:
+            # greedy framing: one loop resume ingests every complete
+            # frame already buffered (with 16 clients pipelining on one
+            # socket, requests arrive back to back)
+            while len(buffer) < HEADER_SIZE:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    return
+                buffer += chunk
+            header = FrameHeader.decode(bytes(buffer[:HEADER_SIZE]))
+            while len(buffer) < HEADER_SIZE + header.length:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    return
+                buffer += chunk
+            payload = bytes(
+                buffer[HEADER_SIZE : HEADER_SIZE + header.length]
+            )
+            del buffer[: HEADER_SIZE + header.length]
+            if header.kind != KIND_REQUEST:
+                raise ProtocolError(
+                    f"client sent frame kind {header.kind}, "
+                    f"expected a request"
+                )
+            if self._pending >= self._max_pending:
+                # load shedding: answer immediately instead of queueing
+                self.shed_requests += 1
+                conn.send(
+                    encode_frame(
+                        KIND_ERROR,
+                        header.correlation_id,
+                        _encode_error(
+                            _ERROR_OVERLOADED,
+                            f"server overloaded: {self._pending} "
+                            "requests pending",
+                        ),
+                    )
+                )
+                # don't outpace a client that floods without reading
+                await conn.flushed()
+                continue
+            # per-connection window: stop reading until a slot frees up,
+            # so TCP flow control backpressures a flooding client
+            await conn.window.acquire()
+            self._pending += 1
+            # fast path: no per-request task — the executor future's
+            # done-callback runs on the loop and writes the response
+            future = self._loop.run_in_executor(
+                self._executor, self._handler, payload
+            )
+            future.add_done_callback(
+                lambda f, cid=header.correlation_id: self._complete(
+                    conn, cid, f
+                )
+            )
+
+    def _complete(
+        self,
+        conn: "_PipelinedConnection",
+        correlation_id: int,
+        future: "asyncio.Future[bytes]",
+    ) -> None:
+        """Write one finished request's response (runs on the loop)."""
+        try:
+            if future.cancelled():
+                conn.window.release()
+                return
+            exc = future.exception()
+            if exc is not None:  # handler bug: report, keep serving
+                conn.send(
+                    encode_frame(
+                        KIND_ERROR,
+                        correlation_id,
+                        _encode_error(
+                            _ERROR_FAILED, f"{type(exc).__name__}: {exc}"
+                        ),
+                    ),
+                    release=True,
+                )
+            else:
+                conn.send(
+                    *response_frames(
+                        correlation_id, future.result(), self._chunk_size
+                    ),
+                    release=True,
+                )
+        finally:
+            self.requests_served += 1
+            self._pending -= 1
+
+    async def _run_handler(self, payload: bytes) -> bytes:
+        return await self._loop.run_in_executor(
+            self._executor, self._handler, payload
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop serving, close connections, release the executor."""
+        if self._loop is None:
+            return
+        asyncio.run_coroutine_threadsafe(
+            self._shutdown(), self._loop
+        ).result(30)
+        self._stop_loop()
+        self._executor.shutdown(wait=False)
+
+    async def _shutdown(self) -> None:
+        self._server.close()
+        await self._server.wait_closed()
+        for task in list(self._tasks):
+            task.cancel()
+        for writer in list(self._writers):
+            writer.close()
+
+    def _stop_loop(self) -> None:
+        loop, self._loop = self._loop, None
+        loop.call_soon_threadsafe(loop.stop)
+        self._thread.join(30)
+        loop.close()
+
+    def __enter__(self) -> "AsyncTcpServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+class AsyncTcpChannel:
+    """Asyncio-native pipelined channel (framing v2).
+
+    Create with :meth:`open` from inside a running event loop.
+    Concurrent :meth:`request` calls from different tasks interleave on
+    the single connection; a background reader task routes response
+    frames back by correlation id and reassembles chunked responses.
+    Counts bytes including frame headers, like the legacy channel.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.requests = 0
+        self._reader = reader
+        self._writer = writer
+        self._cids = itertools.count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._received: dict[int, int] = {}
+        self._assembler = FrameAssembler()
+        self._closed = False
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+
+    @classmethod
+    async def open(
+        cls, host: str, port: int, *, timeout: float = 30.0
+    ) -> "AsyncTcpChannel":
+        """Connect to an :class:`AsyncTcpServer` at ``host:port``."""
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            raise ChannelError(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from exc
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return cls(reader, writer)
+
+    async def request(self, data: bytes) -> bytes:
+        """Send one request, await its (possibly out-of-order) response."""
+        payload, _ = await self._request(data)
+        return payload
+
+    async def _request(self, data: bytes) -> tuple[bytes, int]:
+        """Like :meth:`request`, also returning the response wire bytes."""
+        if self._closed:
+            raise ChannelError("channel is closed")
+        if len(data) > MAX_PAYLOAD:
+            raise ChannelError(
+                f"request of {len(data)} bytes exceeds the "
+                f"{MAX_PAYLOAD}-byte frame limit"
+            )
+        correlation_id = next(self._cids)
+        future = asyncio.get_running_loop().create_future()
+        self._pending[correlation_id] = future
+        self._received[correlation_id] = 0
+        frame = encode_frame(KIND_REQUEST, correlation_id, data)
+        try:
+            self._writer.write(frame)
+            self.bytes_sent += len(frame)
+            self.requests += 1
+            await self._writer.drain()  # client-side backpressure
+            return await future
+        except (ConnectionError, OSError) as exc:
+            raise ChannelError(f"pipelined send failed: {exc}") from exc
+        finally:
+            self._pending.pop(correlation_id, None)
+            self._received.pop(correlation_id, None)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                header = FrameHeader.decode(
+                    await self._reader.readexactly(HEADER_SIZE)
+                )
+                payload = await self._reader.readexactly(header.length)
+                self.bytes_received += HEADER_SIZE + header.length
+                correlation_id = header.correlation_id
+                if correlation_id in self._received:
+                    self._received[correlation_id] += (
+                        HEADER_SIZE + header.length
+                    )
+                future = self._pending.get(correlation_id)
+                if header.kind == KIND_ERROR:
+                    if future is not None and not future.done():
+                        future.set_exception(_decode_error(payload))
+                elif header.kind == KIND_RESPONSE:
+                    complete = self._assembler.add(header, payload)
+                    if (
+                        complete is not None
+                        and future is not None
+                        and not future.done()
+                    ):
+                        future.set_result(
+                            (complete, self._received[correlation_id])
+                        )
+                else:
+                    raise ProtocolError(
+                        f"server sent frame kind {header.kind}"
+                    )
+        except (asyncio.IncompleteReadError, ConnectionError, OSError) as exc:
+            self._fail_all(ChannelError(f"connection lost: {exc}"))
+        except ProtocolError as exc:
+            self._fail_all(ChannelError(f"protocol violation: {exc}"))
+        except asyncio.CancelledError:
+            self._fail_all(ChannelError("channel closed"))
+            raise
+
+    def _fail_all(self, error: ChannelError) -> None:
+        self._closed = True
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(error)
+        self._pending.clear()
+
+    async def close(self) -> None:
+        """Close the connection; outstanding requests fail cleanly."""
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class AsyncRpcClient:
+    """RPC envelope codec over an :class:`AsyncTcpChannel`.
+
+    The coroutine counterpart of :class:`~repro.net.rpc.RpcClient`:
+    many tasks may :meth:`call` concurrently and their requests pipeline
+    on the shared connection.
+    """
+
+    def __init__(self, channel: AsyncTcpChannel) -> None:
+        self.channel = channel
+        self.server_time = 0.0
+        self.calls = 0
+
+    async def call(self, method: str, body: Writer | bytes = b"") -> Reader:
+        """Invoke ``method``; returns a Reader on the response body."""
+        raw = await self.channel.request(encode_request(method, body))
+        try:
+            server_time, reader = decode_response(raw)
+        except RpcServerError as exc:
+            self.server_time += exc.server_time
+            self.calls += 1
+            raise
+        self.server_time += server_time
+        self.calls += 1
+        return reader
+
+
+class PipelinedTcpChannel(Channel):
+    """Synchronous, thread-safe facade over one pipelined connection.
+
+    :meth:`request` may be called from any number of threads
+    concurrently — their requests interleave on the single socket and
+    each caller blocks only until its own correlated response arrives.
+    This is the bridge that lets the synchronous
+    :class:`~repro.core.client.EncryptedClient` (and a whole pool of
+    them) ride the async server's pipelining.
+
+    There is deliberately no event loop in this hot path: the calling
+    thread writes its frame straight to the socket (under a send lock)
+    and a dedicated reader thread routes response frames back to
+    blocked callers by correlation id, so a request costs the same two
+    thread wake-ups as the legacy :class:`~repro.net.channel.TcpChannel`
+    despite the multiplexing.
+
+    ``communication_time`` accumulates full round-trip wall time: with
+    several requests in flight the server-processing share of one
+    request overlaps another's transfer, so the legacy split into
+    server/transfer components is not defined here.
+    """
+
+    def __init__(
+        self, host: str, port: int, *, timeout: float = 30.0
+    ) -> None:
+        super().__init__()
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError as exc:
+            raise ChannelError(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from exc
+        # the reader blocks indefinitely; timeouts are enforced by each
+        # caller waiting on its own response future
+        self._sock.settimeout(None)
+        self._cids = itertools.count(1)
+        self._pending: dict[int, concurrent.futures.Future] = {}
+        self._received: dict[int, int] = {}
+        self._assembler = FrameAssembler()
+        self._closed = False
+        self._reader = threading.Thread(
+            target=self._read_loop, name="pipelined-reader", daemon=True
+        )
+        self._reader.start()
+
+    def request(self, data: bytes) -> bytes:
+        if len(data) > MAX_PAYLOAD:
+            raise ChannelError(
+                f"request of {len(data)} bytes exceeds the "
+                f"{MAX_PAYLOAD}-byte frame limit"
+            )
+        start = time.perf_counter()
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        with self._lock:
+            if self._closed:
+                raise ChannelError("channel is closed")
+            correlation_id = next(self._cids)
+            self._pending[correlation_id] = future
+            self._received[correlation_id] = 0
+        frame = encode_frame(KIND_REQUEST, correlation_id, data)
+        try:
+            try:
+                with self._send_lock:
+                    self._sock.sendall(frame)
+            except OSError as exc:
+                raise ChannelError(f"pipelined send failed: {exc}") from exc
+            try:
+                payload, received = future.result(self._timeout)
+            except concurrent.futures.TimeoutError as exc:
+                raise ChannelError(
+                    f"request timed out after {self._timeout}s"
+                ) from exc
+        finally:
+            with self._lock:
+                self._pending.pop(correlation_id, None)
+                self._received.pop(correlation_id, None)
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            self.bytes_sent += len(frame)
+            self.bytes_received += received
+            self.communication_time += elapsed
+            self.requests += 1
+        return payload
+
+    def _read_loop(self) -> None:
+        buffer = bytearray()
+        try:
+            while True:
+                # greedy framing: drain every complete frame already
+                # buffered before sleeping in recv again
+                while len(buffer) >= HEADER_SIZE:
+                    header = FrameHeader.decode(bytes(buffer[:HEADER_SIZE]))
+                    total = HEADER_SIZE + header.length
+                    if len(buffer) < total:
+                        break
+                    payload = bytes(buffer[HEADER_SIZE:total])
+                    del buffer[:total]
+                    self._dispatch(header, payload)
+                chunk = self._sock.recv(1 << 16)
+                if not chunk:
+                    raise ChannelError(
+                        "peer closed connection reading frames"
+                    )
+                buffer += chunk
+        except (ChannelError, OSError) as exc:
+            self._fail_all(ChannelError(f"connection lost: {exc}"))
+        except ProtocolError as exc:
+            self._fail_all(ChannelError(f"protocol violation: {exc}"))
+
+    def _dispatch(self, header: FrameHeader, payload: bytes) -> None:
+        with self._lock:
+            if header.correlation_id in self._received:
+                self._received[header.correlation_id] += (
+                    HEADER_SIZE + header.length
+                )
+            future = self._pending.get(header.correlation_id)
+        if header.kind == KIND_ERROR:
+            if future is not None and not future.done():
+                future.set_exception(_decode_error(payload))
+        elif header.kind == KIND_RESPONSE:
+            complete = self._assembler.add(header, payload)
+            if (
+                complete is not None
+                and future is not None
+                and not future.done()
+            ):
+                with self._lock:
+                    received = self._received.get(header.correlation_id, 0)
+                future.set_result((complete, received))
+        else:
+            raise ProtocolError(f"server sent frame kind {header.kind}")
+
+    def _fail_all(self, error: ChannelError) -> None:
+        with self._lock:
+            self._closed = True
+            pending, self._pending = dict(self._pending), {}
+            self._received.clear()
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(error)
+
+    def close(self) -> None:
+        """Close the connection; outstanding requests fail cleanly."""
+        with self._lock:
+            if self._closed:
+                already = True
+            else:
+                already = False
+                self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+        if not already:
+            self._reader.join(self._timeout)
+
+    def __enter__(self) -> "PipelinedTcpChannel":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

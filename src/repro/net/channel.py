@@ -175,22 +175,45 @@ class TcpChannel(Channel):
 
 
 def _recv_frame(sock: socket.socket) -> bytes:
-    header = _recv_exact(sock, _FRAME.size)
+    header = _recv_exact(sock, _FRAME.size, what="frame header")
     (length,) = _FRAME.unpack(header)
     if length > _MAX_FRAME:
-        raise ChannelError(f"frame of {length} bytes exceeds limit")
-    return _recv_exact(sock, length)
+        raise ChannelError(
+            f"frame of {length} bytes exceeds the {_MAX_FRAME}-byte limit"
+        )
+    return _recv_exact(sock, length, what="frame body")
 
 
-def _recv_exact(sock: socket.socket, count: int) -> bytes:
+def _recv_exact(sock: socket.socket, count: int, *, what: str = "frame") -> bytes:
+    """Read exactly ``count`` bytes or raise a typed :class:`ChannelError`.
+
+    Every failure mode — clean close, reset, timeout — reports how many
+    of the expected bytes actually arrived, so a peer that disappears
+    mid-frame surfaces as a diagnosable error instead of a bare
+    ``OSError`` or a silent short read.
+    """
     chunks: list[bytes] = []
-    remaining = count
-    while remaining > 0:
-        chunk = sock.recv(remaining)
+    received = 0
+    while received < count:
+        try:
+            chunk = sock.recv(count - received)
+        except TimeoutError as exc:
+            raise ChannelError(
+                f"timed out reading {what}: expected {count} bytes, "
+                f"got {received}"
+            ) from exc
+        except OSError as exc:
+            raise ChannelError(
+                f"socket error reading {what}: expected {count} bytes, "
+                f"got {received}: {exc}"
+            ) from exc
         if not chunk:
-            raise ChannelError("peer closed connection mid-frame")
+            raise ChannelError(
+                f"peer closed connection reading {what}: expected "
+                f"{count} bytes, got {received}"
+            )
         chunks.append(chunk)
-        remaining -= len(chunk)
+        received += len(chunk)
     return b"".join(chunks)
 
 
@@ -199,6 +222,9 @@ class TcpServer:
 
     Binds to ``host:port`` (port 0 picks a free port; read it back from
     :attr:`port`). Use as a context manager or call :meth:`shutdown`.
+    ``idle_timeout`` (seconds) closes a connection whose next request
+    does not arrive in time; the default ``None`` keeps connections
+    open indefinitely.
     """
 
     def __init__(
@@ -207,6 +233,7 @@ class TcpServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        idle_timeout: float | None = None,
     ) -> None:
         outer = self
 
@@ -215,13 +242,20 @@ class TcpServer:
                 self.request.setsockopt(
                     socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
                 )
+                if idle_timeout is not None:
+                    self.request.settimeout(idle_timeout)
                 while True:
                     try:
                         request = _recv_frame(self.request)
                     except ChannelError:
-                        return  # client disconnected
+                        return  # client disconnected (or idled out)
                     response = outer._handler(request)
-                    self.request.sendall(_FRAME.pack(len(response)) + response)
+                    try:
+                        self.request.sendall(
+                            _FRAME.pack(len(response)) + response
+                        )
+                    except OSError:
+                        return  # client disconnected mid-response
 
         class _Server(socketserver.ThreadingTCPServer):
             allow_reuse_address = True

@@ -28,10 +28,51 @@ from repro.net.channel import Channel, TcpChannel
 from repro.net.clock import Clock, WallClock
 from repro.wire.encoding import Reader, Writer
 
-__all__ = ["RpcDispatcher", "RpcClient", "BATCH_METHOD"]
+__all__ = [
+    "RpcDispatcher",
+    "RpcClient",
+    "BATCH_METHOD",
+    "RpcServerError",
+    "encode_request",
+    "decode_response",
+]
 
 _STATUS_OK = 0
 _STATUS_ERROR = 1
+
+
+def encode_request(method: str, body: Writer | bytes = b"") -> bytes:
+    """Encode one request envelope (shared by the sync and async clients)."""
+    payload = body.getvalue() if isinstance(body, Writer) else bytes(body)
+    return Writer().string(method).blob(payload).getvalue()
+
+
+def decode_response(raw: bytes) -> tuple[float, Reader]:
+    """Decode a response envelope into (server_time, body reader).
+
+    Server-side errors raise :class:`ProtocolError` carrying the
+    server's message — after the reported processing time has been
+    extracted, so callers that account ``server_time`` can do so for
+    failed calls too by catching and re-raising.
+    """
+    reader = Reader(raw)
+    status = reader.u8()
+    server_time = reader.f64()
+    if status == _STATUS_ERROR:
+        raise RpcServerError(f"server error: {reader.string()}", server_time)
+    if status != _STATUS_OK:
+        raise RpcServerError(
+            f"invalid response status {status}", server_time
+        )
+    return server_time, Reader(reader.blob())
+
+
+class RpcServerError(ProtocolError):
+    """An error response envelope; carries the reported server time."""
+
+    def __init__(self, message: str, server_time: float) -> None:
+        super().__init__(message)
+        self.server_time = server_time
 
 #: wire name of the generic batched call
 BATCH_METHOD = "search_batch"
@@ -184,21 +225,20 @@ class RpcClient:
     def call(self, method: str, body: Writer | bytes = b"") -> Reader:
         """Invoke ``method`` with ``body``; returns a Reader on the
         response body. Server-side errors raise :class:`ProtocolError`."""
-        payload = body.getvalue() if isinstance(body, Writer) else bytes(body)
-        request = Writer().string(method).blob(payload).getvalue()
-        raw = self.channel.request(request)
-        reader = Reader(raw)
-        status = reader.u8()
-        server_time = reader.f64()
+        raw = self.channel.request(encode_request(method, body))
+        try:
+            server_time, reader = decode_response(raw)
+        except RpcServerError as exc:
+            self._note(exc.server_time)
+            raise
+        self._note(server_time)
+        return reader
+
+    def _note(self, server_time: float) -> None:
         self.server_time += server_time
         self.calls += 1
         if isinstance(self.channel, TcpChannel):
             self.channel.note_server_time(server_time)
-        if status == _STATUS_ERROR:
-            raise ProtocolError(f"server error: {reader.string()}")
-        if status != _STATUS_OK:
-            raise ProtocolError(f"invalid response status {status}")
-        return Reader(reader.blob())
 
     def call_batch(
         self, method: str, bodies: list[Writer | bytes]

@@ -7,5 +7,6 @@ endian, length-prefixed), never ``pickle``.
 """
 
 from repro.wire.encoding import Reader, Writer
+from repro.wire.frames import FrameAssembler, FrameHeader
 
-__all__ = ["Reader", "Writer"]
+__all__ = ["FrameAssembler", "FrameHeader", "Reader", "Writer"]

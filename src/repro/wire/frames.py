@@ -1,0 +1,202 @@
+"""Pipelined frame codec (framing v2) for the async network stack.
+
+The legacy transport (:mod:`repro.net.channel`) frames every message as
+a bare 4-byte little-endian payload length — one request in flight per
+connection, responses strictly in order. The pipelined framing used by
+:mod:`repro.net.aio` prepends a fixed 18-byte header instead::
+
+    u32 magic            0xA110C0DE
+    u8  kind             REQUEST / RESPONSE / ERROR
+    u8  flags            bit 0 = LAST (final frame of its message)
+    u64 correlation id   chosen by the client, echoed by the server
+    u32 payload length   bytes that follow (<= MAX_PAYLOAD)
+
+The correlation id is what lets one connection carry many in-flight
+requests and receive their responses out of order; the LAST flag is
+what lets a large response stream back as several chunk frames that the
+client reassembles (:class:`FrameAssembler`). Requests always travel as
+a single frame.
+
+The magic number is deliberately larger than the legacy 1 GiB frame
+bound, so a server peeking at the first 4 bytes of a connection can
+tell the two framings apart and serve legacy clients unmodified.
+
+Every decode error raises :class:`~repro.exceptions.ProtocolError`
+immediately — garbage on the wire must fail fast, never hang a reader.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import ProtocolError
+
+__all__ = [
+    "FRAME_MAGIC",
+    "HEADER_SIZE",
+    "MAX_PAYLOAD",
+    "KIND_REQUEST",
+    "KIND_RESPONSE",
+    "KIND_ERROR",
+    "FLAG_LAST",
+    "FrameHeader",
+    "FrameAssembler",
+    "encode_frame",
+    "response_frames",
+]
+
+_HEADER = struct.Struct("<IBBQI")
+
+#: first four bytes of every v2 frame; above the legacy frame-size
+#: bound, so it can never be mistaken for a legacy length prefix
+FRAME_MAGIC = 0xA110C0DE
+
+#: encoded size of a frame header
+HEADER_SIZE = _HEADER.size
+
+#: largest payload a single frame may carry (matches the legacy bound)
+MAX_PAYLOAD = 1 << 30
+
+KIND_REQUEST = 0
+KIND_RESPONSE = 1
+KIND_ERROR = 2
+
+_KINDS = (KIND_REQUEST, KIND_RESPONSE, KIND_ERROR)
+
+#: final frame of its message (set on every request and error frame,
+#: and on the last chunk of a streamed response)
+FLAG_LAST = 0x01
+
+_KNOWN_FLAGS = FLAG_LAST
+
+
+@dataclass(frozen=True)
+class FrameHeader:
+    """Decoded v2 frame header."""
+
+    kind: int
+    flags: int
+    correlation_id: int
+    length: int
+
+    @property
+    def is_last(self) -> bool:
+        """Whether this frame completes its message."""
+        return bool(self.flags & FLAG_LAST)
+
+    def encode(self) -> bytes:
+        """The 18-byte wire form (validates every field)."""
+        if self.kind not in _KINDS:
+            raise ProtocolError(f"unknown frame kind {self.kind}")
+        if self.flags & ~_KNOWN_FLAGS:
+            raise ProtocolError(f"unknown frame flags 0x{self.flags:02x}")
+        if not 0 <= self.correlation_id <= 0xFFFFFFFFFFFFFFFF:
+            raise ProtocolError(
+                f"correlation id out of range: {self.correlation_id}"
+            )
+        if not 0 <= self.length <= MAX_PAYLOAD:
+            raise ProtocolError(
+                f"frame payload of {self.length} bytes exceeds the "
+                f"{MAX_PAYLOAD}-byte limit"
+            )
+        return _HEADER.pack(
+            FRAME_MAGIC, self.kind, self.flags, self.correlation_id,
+            self.length,
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "FrameHeader":
+        """Decode and validate an 18-byte header."""
+        if len(data) != HEADER_SIZE:
+            raise ProtocolError(
+                f"frame header truncated: expected {HEADER_SIZE} bytes, "
+                f"got {len(data)}"
+            )
+        magic, kind, flags, correlation_id, length = _HEADER.unpack(data)
+        if magic != FRAME_MAGIC:
+            raise ProtocolError(
+                f"bad frame magic 0x{magic:08x} "
+                f"(expected 0x{FRAME_MAGIC:08x})"
+            )
+        if kind not in _KINDS:
+            raise ProtocolError(f"unknown frame kind {kind}")
+        if flags & ~_KNOWN_FLAGS:
+            raise ProtocolError(f"unknown frame flags 0x{flags:02x}")
+        if length > MAX_PAYLOAD:
+            raise ProtocolError(
+                f"frame payload of {length} bytes exceeds the "
+                f"{MAX_PAYLOAD}-byte limit"
+            )
+        return cls(kind, flags, correlation_id, length)
+
+
+def encode_frame(
+    kind: int, correlation_id: int, payload: bytes, *, flags: int = FLAG_LAST
+) -> bytes:
+    """One complete frame: validated header followed by ``payload``."""
+    header = FrameHeader(kind, flags, correlation_id, len(payload))
+    return header.encode() + payload
+
+
+def response_frames(
+    correlation_id: int, payload: bytes, chunk_size: int
+) -> Iterator[bytes]:
+    """Frame a response, chunking payloads larger than ``chunk_size``.
+
+    Yields one RESPONSE frame per chunk; only the final frame carries
+    the LAST flag. An empty payload still yields one (empty, LAST)
+    frame so the client's future always resolves.
+    """
+    if chunk_size <= 0:
+        raise ProtocolError(f"chunk_size must be positive, got {chunk_size}")
+    if len(payload) <= chunk_size:
+        yield encode_frame(KIND_RESPONSE, correlation_id, payload)
+        return
+    for start in range(0, len(payload), chunk_size):
+        chunk = payload[start : start + chunk_size]
+        last = start + chunk_size >= len(payload)
+        yield encode_frame(
+            KIND_RESPONSE,
+            correlation_id,
+            chunk,
+            flags=FLAG_LAST if last else 0,
+        )
+
+
+class FrameAssembler:
+    """Reassembles chunked responses, one message per correlation id.
+
+    Feed every received (header, payload) pair to :meth:`add`; it
+    returns the complete message once the LAST-flagged frame of that
+    correlation id arrives, and ``None`` while chunks are still
+    outstanding. Reassembly is bounded by :data:`MAX_PAYLOAD` so a
+    malicious peer cannot grow memory without limit.
+    """
+
+    def __init__(self) -> None:
+        self._partial: dict[int, list[bytes]] = {}
+
+    def add(self, header: FrameHeader, payload: bytes) -> bytes | None:
+        """Absorb one frame; returns the full message when complete."""
+        if len(payload) != header.length:
+            raise ProtocolError(
+                f"frame payload truncated: expected {header.length} "
+                f"bytes, got {len(payload)}"
+            )
+        chunks = self._partial.setdefault(header.correlation_id, [])
+        chunks.append(payload)
+        if sum(len(c) for c in chunks) > MAX_PAYLOAD:
+            del self._partial[header.correlation_id]
+            raise ProtocolError(
+                f"reassembled message exceeds the {MAX_PAYLOAD}-byte limit"
+            )
+        if not header.is_last:
+            return None
+        del self._partial[header.correlation_id]
+        return b"".join(chunks)
+
+    def pending(self) -> int:
+        """Number of messages with outstanding chunks."""
+        return len(self._partial)

@@ -1,0 +1,327 @@
+"""Unit tests for the asyncio network stack (repro.net.aio)."""
+
+import asyncio
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import ChannelError, ProtocolError, ServerBusyError
+from repro.net.aio import (
+    AsyncRpcClient,
+    AsyncTcpChannel,
+    AsyncTcpServer,
+    PipelinedTcpChannel,
+)
+from repro.net.channel import TcpChannel
+from repro.net.rpc import RpcDispatcher
+from repro.wire.encoding import Writer
+from repro.wire.frames import FRAME_MAGIC, KIND_REQUEST, encode_frame
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestAsyncServerBasics:
+    def test_roundtrip_via_sync_facade(self):
+        with AsyncTcpServer(lambda data: b"echo:" + data) as server:
+            with server.connect() as channel:
+                assert channel.request(b"hi") == b"echo:hi"
+
+    def test_many_requests_one_channel(self):
+        with AsyncTcpServer(lambda data: data.upper()) as server:
+            with server.connect() as channel:
+                for word in (b"one", b"two", b"three"):
+                    assert channel.request(word) == word.upper()
+                assert channel.requests == 3
+
+    def test_empty_payloads(self):
+        with AsyncTcpServer(lambda data: b"") as server:
+            with server.connect() as channel:
+                assert channel.request(b"") == b""
+
+    def test_chunked_large_response(self):
+        blob = bytes(range(256)) * 4096  # 1 MiB
+        with AsyncTcpServer(lambda data: data, chunk_size=4096) as server:
+            with server.connect() as channel:
+                assert channel.request(blob) == blob
+
+    def test_legacy_client_served_on_same_port(self):
+        with AsyncTcpServer(lambda data: data + b"!") as server:
+            with TcpChannel(server.host, server.port) as legacy:
+                assert legacy.request(b"old") == b"old!"
+                assert legacy.request(b"style") == b"style!"
+
+    def test_invalid_parameters_rejected(self):
+        for kwargs in (
+            {"max_workers": 0},
+            {"max_inflight_per_connection": 0},
+            {"max_pending": -1},
+            {"chunk_size": 0},
+        ):
+            with pytest.raises(ChannelError):
+                AsyncTcpServer(lambda data: data, **kwargs)
+
+    def test_connect_to_closed_server_fails(self):
+        server = AsyncTcpServer(lambda data: data)
+        port = server.port
+        server.shutdown()
+        with pytest.raises(ChannelError):
+            PipelinedTcpChannel("127.0.0.1", port, timeout=0.5)
+
+    def test_shutdown_idempotent(self):
+        server = AsyncTcpServer(lambda data: data)
+        server.shutdown()
+        server.shutdown()
+
+    def test_handler_exception_becomes_error_not_crash(self):
+        def handler(data: bytes) -> bytes:
+            if data == b"boom":
+                raise RuntimeError("kaput")
+            return data
+
+        with AsyncTcpServer(handler) as server:
+            with server.connect() as channel:
+                with pytest.raises(ChannelError, match="kaput"):
+                    channel.request(b"boom")
+                # the connection and server survive the failed handler
+                assert channel.request(b"fine") == b"fine"
+
+
+class TestPipelining:
+    def test_out_of_order_completion(self):
+        def handler(data: bytes) -> bytes:
+            if data == b"slow":
+                time.sleep(0.3)
+            return data + b"-done"
+
+        with AsyncTcpServer(handler, max_workers=4) as server:
+
+            async def scenario():
+                channel = await AsyncTcpChannel.open(server.host, server.port)
+                slow = asyncio.create_task(channel.request(b"slow"))
+                await asyncio.sleep(0.05)  # slow is dispatched first
+                start = time.perf_counter()
+                fast = await channel.request(b"fast")
+                fast_elapsed = time.perf_counter() - start
+                slow_result = await slow
+                await channel.close()
+                return fast, slow_result, fast_elapsed
+
+            fast, slow_result, fast_elapsed = run(scenario())
+        assert fast == b"fast-done"
+        assert slow_result == b"slow-done"
+        # the fast response overtook the slow one on the same connection
+        assert fast_elapsed < 0.25
+
+    def test_interleaved_burst_on_one_connection(self):
+        with AsyncTcpServer(lambda data: data * 2, max_workers=4) as server:
+
+            async def scenario():
+                channel = await AsyncTcpChannel.open(server.host, server.port)
+                words = [b"m%d" % i for i in range(48)]
+                results = await asyncio.gather(
+                    *[channel.request(w) for w in words]
+                )
+                await channel.close()
+                return words, results
+
+            words, results = run(scenario())
+        assert results == [w * 2 for w in words]
+
+    def test_threads_share_one_pipelined_channel(self):
+        def handler(data: bytes) -> bytes:
+            time.sleep(0.01)
+            return data[::-1]
+
+        with AsyncTcpServer(handler, max_workers=8) as server:
+            with server.connect() as channel:
+                results: dict[int, bytes] = {}
+
+                def worker(i: int) -> None:
+                    payload = b"thread-%03d" % i
+                    results[i] = channel.request(payload)
+
+                threads = [
+                    threading.Thread(target=worker, args=(i,))
+                    for i in range(16)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                assert results == {
+                    i: (b"thread-%03d" % i)[::-1] for i in range(16)
+                }
+                assert channel.requests == 16
+
+
+class TestBackpressure:
+    def test_load_shedding_replies_server_busy(self):
+        def handler(data: bytes) -> bytes:
+            time.sleep(0.15)
+            return data
+
+        with AsyncTcpServer(
+            handler, max_workers=2, max_pending=2
+        ) as server:
+
+            async def flood():
+                channel = await AsyncTcpChannel.open(server.host, server.port)
+                results = await asyncio.gather(
+                    *[channel.request(b"r%d" % i) for i in range(12)],
+                    return_exceptions=True,
+                )
+                await channel.close()
+                return results
+
+            results = run(flood())
+            shed = [r for r in results if isinstance(r, ServerBusyError)]
+            served = [r for r in results if isinstance(r, bytes)]
+            assert len(shed) >= 1
+            assert len(shed) + len(served) == 12
+            assert server.shed_requests == len(shed)
+            # the server recovers once the burst drains
+            with server.connect() as channel:
+                assert channel.request(b"after") == b"after"
+
+    def test_per_connection_window_limits_inflight(self):
+        inflight = {"now": 0, "max": 0}
+        gate = threading.Lock()
+
+        def handler(data: bytes) -> bytes:
+            with gate:
+                inflight["now"] += 1
+                inflight["max"] = max(inflight["max"], inflight["now"])
+            time.sleep(0.02)
+            with gate:
+                inflight["now"] -= 1
+            return data
+
+        with AsyncTcpServer(
+            handler,
+            max_workers=16,
+            max_inflight_per_connection=3,
+            max_pending=1000,
+        ) as server:
+
+            async def burst():
+                channel = await AsyncTcpChannel.open(server.host, server.port)
+                await asyncio.gather(
+                    *[channel.request(b"x") for _ in range(20)]
+                )
+                await channel.close()
+
+            run(burst())
+        assert inflight["max"] <= 3
+
+    def test_pending_counter_returns_to_zero(self):
+        with AsyncTcpServer(lambda data: data) as server:
+            with server.connect() as channel:
+                for _ in range(5):
+                    channel.request(b"q")
+            deadline = time.time() + 2.0
+            while server.pending and time.time() < deadline:
+                time.sleep(0.01)
+            assert server.pending == 0
+            assert server.requests_served == 5
+
+
+class TestDisconnects:
+    def test_mid_request_disconnect_leaves_server_alive(self):
+        def handler(data: bytes) -> bytes:
+            time.sleep(0.1)
+            return data
+
+        with AsyncTcpServer(handler) as server:
+            # send a complete request, then vanish before the response
+            sock = socket.create_connection((server.host, server.port))
+            sock.sendall(encode_frame(KIND_REQUEST, 7, b"abandoned"))
+            sock.close()
+            # a partial frame then disconnect must not wedge the reader
+            sock = socket.create_connection((server.host, server.port))
+            sock.sendall(encode_frame(KIND_REQUEST, 8, b"partial")[:10])
+            sock.close()
+            time.sleep(0.3)
+            with server.connect() as channel:
+                assert channel.request(b"still-alive") == b"still-alive"
+
+    def test_garbage_framing_drops_connection_not_server(self):
+        with AsyncTcpServer(lambda data: data) as server:
+            sock = socket.create_connection((server.host, server.port))
+            # valid magic, unknown kind -> ProtocolError -> drop
+            sock.sendall(struct.pack("<IBBQI", FRAME_MAGIC, 99, 1, 1, 0))
+            time.sleep(0.1)
+            # server closed the offending connection...
+            sock.settimeout(1.0)
+            assert sock.recv(1) == b""
+            sock.close()
+            # ...but keeps serving others
+            with server.connect() as channel:
+                assert channel.request(b"ok") == b"ok"
+
+    def test_server_shutdown_fails_pending_requests(self):
+        def handler(data: bytes) -> bytes:
+            time.sleep(5.0)
+            return data
+
+        server = AsyncTcpServer(handler)
+        channel = PipelinedTcpChannel(
+            server.host, server.port, timeout=2.0
+        )
+        errors = []
+
+        def blocked():
+            try:
+                channel.request(b"never-answered")
+            except ChannelError as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=blocked)
+        thread.start()
+        time.sleep(0.1)
+        server.shutdown()
+        thread.join(5.0)
+        channel.close()
+        assert len(errors) == 1
+
+
+class TestAsyncRpcClient:
+    def test_rpc_over_pipelined_channel(self):
+        dispatcher = RpcDispatcher()
+        dispatcher.register(
+            "double", lambda body: Writer().u32(body.u32() * 2)
+        )
+        with AsyncTcpServer(dispatcher.handle) as server:
+
+            async def scenario():
+                channel = await AsyncTcpChannel.open(server.host, server.port)
+                rpc = AsyncRpcClient(channel)
+                readers = await asyncio.gather(
+                    *[rpc.call("double", Writer().u32(i)) for i in range(10)]
+                )
+                values = [r.u32() for r in readers]
+                calls, server_time = rpc.calls, rpc.server_time
+                await channel.close()
+                return values, calls, server_time
+
+            values, calls, server_time = run(scenario())
+        assert values == [2 * i for i in range(10)]
+        assert calls == 10
+        assert server_time >= 0.0
+
+    def test_rpc_error_propagates_with_message(self):
+        dispatcher = RpcDispatcher()
+        with AsyncTcpServer(dispatcher.handle) as server:
+
+            async def scenario():
+                channel = await AsyncTcpChannel.open(server.host, server.port)
+                rpc = AsyncRpcClient(channel)
+                with pytest.raises(ProtocolError, match="unknown method"):
+                    await rpc.call("nope")
+                await channel.close()
+
+            run(scenario())

@@ -1,10 +1,40 @@
 """Unit tests for repro.net.channel and repro.net.clock."""
 
+import socket
+import struct
+import threading
+
 import pytest
 
 from repro.exceptions import ChannelError
-from repro.net.channel import InProcessChannel, TcpServer
+from repro.net.channel import InProcessChannel, TcpChannel, TcpServer
 from repro.net.clock import SimulatedClock, WallClock
+
+
+class _ScriptedServer:
+    """Accepts one connection and plays back raw bytes, for driving the
+    client's frame decoder into edge cases a real server never hits."""
+
+    def __init__(self, script: bytes, *, close_after: bool = True) -> None:
+        self._listener = socket.socket()
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(1)
+        self.port = self._listener.getsockname()[1]
+        self._script = script
+        self._close_after = close_after
+        self.release = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        conn, _ = self._listener.accept()
+        conn.recv(65536)  # drain the client's request
+        if self._script:
+            conn.sendall(self._script)
+        if not self._close_after:
+            self.release.wait(5.0)  # hold the connection open, silent
+        conn.close()
+        self._listener.close()
 
 
 class TestClocks:
@@ -125,3 +155,60 @@ class TestTcp:
                 before = channel.communication_time
                 channel.note_server_time(before / 2)
                 assert channel.communication_time == pytest.approx(before / 2)
+
+
+class TestFrameEdgeHandling:
+    """A peer that closes mid-frame, stalls, or sends garbage must
+    surface as a typed ChannelError with expected/got context — never a
+    bare OSError and never a hang."""
+
+    def test_close_mid_header_reports_expected_and_got(self):
+        scripted = _ScriptedServer(b"\x10")  # 1 of 4 header bytes
+        with TcpChannel("127.0.0.1", scripted.port, timeout=2.0) as channel:
+            with pytest.raises(ChannelError) as err:
+                channel.request(b"ping")
+        message = str(err.value)
+        assert "expected 4 bytes" in message
+        assert "got 1" in message
+
+    def test_close_mid_body_reports_expected_and_got(self):
+        # header promises 100 bytes, only 7 arrive before the close
+        scripted = _ScriptedServer(struct.pack("<I", 100) + b"partial")
+        with TcpChannel("127.0.0.1", scripted.port, timeout=2.0) as channel:
+            with pytest.raises(ChannelError) as err:
+                channel.request(b"ping")
+        message = str(err.value)
+        assert "frame body" in message
+        assert "expected 100 bytes" in message
+        assert "got 7" in message
+
+    def test_clean_close_before_any_response(self):
+        scripted = _ScriptedServer(b"")
+        with TcpChannel("127.0.0.1", scripted.port, timeout=2.0) as channel:
+            with pytest.raises(ChannelError, match="got 0"):
+                channel.request(b"ping")
+
+    def test_stalled_peer_times_out_with_context(self):
+        scripted = _ScriptedServer(
+            struct.pack("<I", 50) + b"stuck", close_after=False
+        )
+        with TcpChannel("127.0.0.1", scripted.port, timeout=0.3) as channel:
+            with pytest.raises(ChannelError, match="timed out"):
+                channel.request(b"ping")
+        scripted.release.set()
+
+    def test_oversized_frame_rejected(self):
+        scripted = _ScriptedServer(struct.pack("<I", (1 << 30) + 1))
+        with TcpChannel("127.0.0.1", scripted.port, timeout=2.0) as channel:
+            with pytest.raises(ChannelError, match="exceeds"):
+                channel.request(b"ping")
+
+    def test_server_idle_timeout_closes_connection(self):
+        with TcpServer(lambda data: data, idle_timeout=0.2) as server:
+            with server.connect() as channel:
+                assert channel.request(b"quick") == b"quick"
+                import time
+
+                time.sleep(0.5)  # exceed the server's idle window
+                with pytest.raises(ChannelError):
+                    channel.request(b"too-late")

@@ -65,6 +65,32 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["demo", "--strategy", "quantum"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.dataset == "yeast"
+        assert args.transport == "tcp-async"
+        assert args.duration is None
+
+    def test_serve_rejects_unknown_transport(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--transport", "carrier-pigeon"])
+
+    @pytest.mark.parametrize("transport", ["tcp", "tcp-async"])
+    def test_serve_starts_and_stops(self, capsys, transport):
+        code = main(
+            [
+                "serve",
+                "--dataset", "cophir",
+                "--records", "200",
+                "--transport", transport,
+                "--duration", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving 200 records on 127.0.0.1:" in out
+        assert "server stopped" in out
+
     def test_attack_precise_leaks(self, capsys):
         assert main(["attack", "--strategy", "precise",
                      "--records", "400"]) == 0
