@@ -28,6 +28,9 @@ __all__ = [
     "DISTANCE",
     "CACHE_HITS",
     "CACHE_MISSES",
+    "BLOCK_CACHE_HITS",
+    "BLOCK_CACHE_MISSES",
+    "CHUNKS_DECOMPRESSED",
     "CostRecorder",
     "CostReport",
     "CostTimer",
@@ -45,6 +48,15 @@ DISTANCE = "distance"
 #: exactly one cache miss (or to a client with the cache disabled).
 CACHE_HITS = "cache_hits"
 CACHE_MISSES = "cache_misses"
+
+#: canonical counter names of the disk backend's decoded-chunk block
+#: cache. Invariants the storage tests pin down: hits + misses equals
+#: chunk accesses, and every decompression corresponds to exactly one
+#: cache miss, so the storage ablation bench can reconcile its I/O
+#: breakdown the same way the client-side cache reconciles decryption.
+BLOCK_CACHE_HITS = "block_cache_hits"
+BLOCK_CACHE_MISSES = "block_cache_misses"
+CHUNKS_DECOMPRESSED = "chunks_decompressed"
 
 
 class CostRecorder:

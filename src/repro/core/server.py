@@ -268,6 +268,23 @@ class SimilarityCloudServer:
         body.expect_end()
         with self._lock.read():
             stats = self.index.statistics()
+            storage = self.storage
+            # the storage backend's I/O and cache accounting rides the
+            # same diagnostics surface; counters a backend does not
+            # define (e.g. block cache on MemoryStorage) are omitted
+            for counter in (
+                "reads",
+                "writes",
+                "bytes_read",
+                "bytes_written",
+                "block_cache_hits",
+                "block_cache_misses",
+                "chunks_decompressed",
+                "manifest_writes",
+            ):
+                value = getattr(storage, counter, None)
+                if value is not None:
+                    stats[f"storage_{counter}"] = value
         writer = Writer()
         writer.u32(len(stats))
         for key, value in sorted(stats.items()):

@@ -262,11 +262,31 @@ class MIndex:
         vectorized :func:`~repro.metric.permutations.pivot_permutations`
         call per cell. Returns the number of recovered records. Any
         in-memory state is discarded.
+
+        Works identically on a storage object that lived through the
+        inserts and on a freshly reopened :class:`DiskStorage`
+        directory (whose persisted manifest restores the cell catalog
+        across process restarts). Cell ids that are not permutation
+        prefixes — e.g. a directory from some other application — are
+        rejected with a clear error instead of corrupting the tree,
+        and empty cells are skipped from the catalog without charging
+        a storage read.
         """
         self.tree = CellTree(self.n_pivots, self.tree.max_level)
         self._n_records = 0
-        prefixes = sorted(self.storage.cells(), key=lambda p: (len(p), p))
+        cell_ids = list(self.storage.cells())
+        for cell_id in cell_ids:
+            if not isinstance(cell_id, tuple) or not all(
+                isinstance(pivot, int) for pivot in cell_id
+            ):
+                raise IndexError_(
+                    f"storage cell id {cell_id!r} is not a permutation "
+                    "prefix; the backing store does not hold an M-Index"
+                )
+        prefixes = sorted(cell_ids, key=lambda p: (len(p), p))
         for prefix in prefixes:
+            if self.storage.cell_size(prefix) == 0:
+                continue
             leaf = self.tree.ensure_leaf(tuple(prefix))
             records = self.storage.load(prefix)
             missing = [r for r in records if r.permutation is None]

@@ -8,7 +8,24 @@ can compare them.
 """
 
 from repro.storage.bucket import Bucket
-from repro.storage.disk import DiskStorage
+from repro.storage.chunks import (
+    DEFAULT_CHUNK_RAW_BYTES,
+    FORMAT_CHUNKED,
+    FORMAT_LEGACY,
+    BlockCache,
+)
+from repro.storage.disk import DEFAULT_CACHE_BYTES, DiskStorage
+from repro.storage.manifest import MANIFEST_NAME
 from repro.storage.memory import MemoryStorage
 
-__all__ = ["Bucket", "DiskStorage", "MemoryStorage"]
+__all__ = [
+    "Bucket",
+    "BlockCache",
+    "DEFAULT_CACHE_BYTES",
+    "DEFAULT_CHUNK_RAW_BYTES",
+    "DiskStorage",
+    "FORMAT_CHUNKED",
+    "FORMAT_LEGACY",
+    "MANIFEST_NAME",
+    "MemoryStorage",
+]

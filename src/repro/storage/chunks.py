@@ -1,0 +1,374 @@
+"""Chunk-indexed compressed cell files and the LRU block cache.
+
+One cell = one file of independently ``zlib``-compressed chunks, so a
+point ``load`` decompresses only the chunks of that cell and an append
+compresses just the new tail chunk(s). The on-disk layout (format
+version 2, ``*.chk``) is::
+
+    file  := header chunk*
+    header:= magic(4) | version u8 | u32 id_len | id_json
+    chunk := u32 comp_len | u32 raw_len | u32 n_records | zlib bytes
+
+``raw`` is a concatenation of the usual length-prefixed record frames;
+a record never spans two chunks, so every chunk decodes independently.
+The header embeds the cell id (manifest JSON encoding), which makes
+chunked files *self-describing*: a missing or corrupted manifest can be
+rebuilt by scanning file headers alone — the compatibility-first
+fallback the CoZip hybrid-decompression design mandates.
+
+Format version 1 is the seed's plain layout (raw frames, no header,
+``*.bin``); :mod:`repro.storage.disk` still reads it transparently and
+recovers its cell ids by hashing candidate permutation prefixes (the
+legacy file name *is* ``sha1(repr(cell_id))``).
+
+:class:`BlockCache` is the byte-budgeted LRU of *decoded* (raw) chunks
+that sits above the chunk reader, modeled on the client's
+decrypted-candidate LRU: exact hit/miss accounting, eviction by least
+recent use, invalidation per file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+from repro.core.records import IndexedRecord
+from repro.exceptions import StorageError
+
+__all__ = [
+    "BlockCache",
+    "ChunkEntry",
+    "DEFAULT_CHUNK_RAW_BYTES",
+    "FORMAT_CHUNKED",
+    "FORMAT_LEGACY",
+    "MAGIC",
+    "build_chunks",
+    "cell_digest",
+    "count_frames",
+    "encode_file_header",
+    "frame_record",
+    "is_chunked_blob",
+    "parse_frames",
+    "read_file_header",
+    "recover_legacy_cell_id",
+    "scan_chunks",
+]
+
+_LEN = struct.Struct("<I")
+_CHUNK_HEADER = struct.Struct("<III")  # comp_len, raw_len, n_records
+
+#: first bytes of a chunked cell file. A legacy file starts with the
+#: u32 length of its first record frame, so this value (≈1.1e9 as a
+#: little-endian u32) can never collide with a real frame length.
+MAGIC = b"RXCF"
+
+#: storage format versions (the version byte after the magic)
+FORMAT_LEGACY = 1
+FORMAT_CHUNKED = 2
+
+#: target uncompressed bytes per chunk — small enough that a point
+#: lookup never decompresses much more than it needs, large enough for
+#: zlib to see real redundancy
+DEFAULT_CHUNK_RAW_BYTES = 64 * 1024
+
+
+@dataclass(frozen=True)
+class ChunkEntry:
+    """Location and shape of one compressed chunk inside a cell file."""
+
+    offset: int  # file offset of the chunk header
+    comp_size: int  # compressed payload bytes (header excluded)
+    raw_size: int  # decompressed bytes
+    n_records: int  # record frames inside
+
+    @property
+    def end(self) -> int:
+        """File offset one past the chunk's last byte."""
+        return self.offset + _CHUNK_HEADER.size + self.comp_size
+
+    def as_list(self) -> list[int]:
+        """Manifest JSON form."""
+        return [self.offset, self.comp_size, self.raw_size, self.n_records]
+
+    @classmethod
+    def from_list(cls, values) -> "ChunkEntry":
+        if not isinstance(values, list) or len(values) != 4:
+            raise StorageError(f"malformed chunk index entry {values!r}")
+        offset, comp_size, raw_size, n_records = values
+        for value in (offset, comp_size, raw_size, n_records):
+            if not isinstance(value, int) or value < 0:
+                raise StorageError(
+                    f"malformed chunk index entry {values!r}"
+                )
+        return cls(offset, comp_size, raw_size, n_records)
+
+
+# -- record framing (format-independent) --------------------------------
+
+
+def frame_record(record: IndexedRecord) -> bytes:
+    """Length-prefixed standalone encoding of one record."""
+    blob = record.to_bytes()
+    return _LEN.pack(len(blob)) + blob
+
+
+def parse_frames(blob: bytes) -> Iterator[IndexedRecord]:
+    """Decode a concatenation of record frames."""
+    offset = 0
+    total = len(blob)
+    while offset < total:
+        if offset + _LEN.size > total:
+            raise StorageError("cell file truncated (frame header)")
+        (length,) = _LEN.unpack_from(blob, offset)
+        offset += _LEN.size
+        if offset + length > total:
+            raise StorageError("cell file truncated (frame body)")
+        yield IndexedRecord.from_bytes(blob[offset : offset + length])
+        offset += length
+
+
+def count_frames(blob: bytes) -> int:
+    """Number of complete frames in ``blob`` (no record decoding)."""
+    offset = 0
+    total = len(blob)
+    count = 0
+    while offset < total:
+        if offset + _LEN.size > total:
+            raise StorageError("cell file truncated (frame header)")
+        (length,) = _LEN.unpack_from(blob, offset)
+        offset += _LEN.size + length
+        if offset > total:
+            raise StorageError("cell file truncated (frame body)")
+        count += 1
+    return count
+
+
+# -- chunked file format (version 2) ------------------------------------
+
+
+def encode_file_header(id_json: bytes) -> bytes:
+    """Header bytes for a chunked cell file carrying ``id_json``."""
+    return (
+        MAGIC
+        + bytes([FORMAT_CHUNKED])
+        + _LEN.pack(len(id_json))
+        + id_json
+    )
+
+
+def read_file_header(blob: bytes) -> tuple[bytes, int]:
+    """(cell id JSON, header length) of a chunked file's first bytes."""
+    if blob[: len(MAGIC)] != MAGIC:
+        raise StorageError("not a chunked cell file (bad magic)")
+    base = len(MAGIC)
+    if len(blob) < base + 1 + _LEN.size:
+        raise StorageError("chunked cell file truncated (header)")
+    version = blob[base]
+    if version != FORMAT_CHUNKED:
+        raise StorageError(
+            f"unsupported cell file format version {version}"
+        )
+    (id_len,) = _LEN.unpack_from(blob, base + 1)
+    header_len = base + 1 + _LEN.size + id_len
+    if len(blob) < header_len:
+        raise StorageError("chunked cell file truncated (cell id)")
+    id_json = blob[base + 1 + _LEN.size : header_len]
+    return id_json, header_len
+
+
+def is_chunked_blob(blob: bytes) -> bool:
+    """Whether ``blob`` starts a format-2 chunked cell file."""
+    return blob[: len(MAGIC)] == MAGIC
+
+
+def build_chunks(
+    records: list[IndexedRecord],
+    *,
+    base_offset: int,
+    chunk_raw_bytes: int = DEFAULT_CHUNK_RAW_BYTES,
+) -> tuple[bytes, list[ChunkEntry]]:
+    """Compress ``records`` into chunk bytes starting at ``base_offset``.
+
+    Frames are packed greedily: a chunk closes once it holds at least
+    ``chunk_raw_bytes`` of raw frame bytes, so a frame never spans two
+    chunks and an oversized record simply gets a chunk of its own.
+    Returns the concatenated ``header|payload`` chunk bytes and their
+    index entries (offsets are absolute, i.e. shifted by
+    ``base_offset``).
+    """
+    if chunk_raw_bytes <= 0:
+        raise StorageError(
+            f"chunk size must be positive, got {chunk_raw_bytes}"
+        )
+    pieces: list[bytes] = []
+    entries: list[ChunkEntry] = []
+    offset = base_offset
+    group: list[bytes] = []
+    group_raw = 0
+
+    def _close_group() -> None:
+        nonlocal group, group_raw, offset
+        if not group:
+            return
+        raw = b"".join(group)
+        comp = zlib.compress(raw)
+        pieces.append(
+            _CHUNK_HEADER.pack(len(comp), len(raw), len(group)) + comp
+        )
+        entries.append(ChunkEntry(offset, len(comp), len(raw), len(group)))
+        offset += _CHUNK_HEADER.size + len(comp)
+        group = []
+        group_raw = 0
+
+    for record in records:
+        frame = frame_record(record)
+        group.append(frame)
+        group_raw += len(frame)
+        if group_raw >= chunk_raw_bytes:
+            _close_group()
+    _close_group()
+    return b"".join(pieces), entries
+
+
+def scan_chunks(
+    blob: bytes, start: int
+) -> tuple[list[ChunkEntry], int]:
+    """Rebuild a chunk index by walking chunk headers from ``start``.
+
+    Used when the manifest is absent or corrupted. An *incomplete*
+    trailing chunk (a crash mid-append, before the manifest caught up)
+    is ignored — scanning stops at the last complete chunk; the
+    returned end offset points one past it. No decompression happens.
+    """
+    entries: list[ChunkEntry] = []
+    offset = start
+    total = len(blob)
+    while offset < total:
+        if offset + _CHUNK_HEADER.size > total:
+            break  # torn chunk header: crashed append, drop the tail
+        comp_len, raw_len, n_records = _CHUNK_HEADER.unpack_from(
+            blob, offset
+        )
+        if offset + _CHUNK_HEADER.size + comp_len > total:
+            break  # torn chunk body
+        entries.append(ChunkEntry(offset, comp_len, raw_len, n_records))
+        offset += _CHUNK_HEADER.size + comp_len
+    end = entries[-1].end if entries else start
+    return entries, end
+
+
+def decompress_chunk(comp: bytes, entry: ChunkEntry) -> bytes:
+    """Decompress one chunk's payload, validating the recorded sizes."""
+    try:
+        raw = zlib.decompress(comp)
+    except zlib.error as exc:
+        raise StorageError(
+            f"cell chunk at offset {entry.offset} is corrupt: {exc}"
+        ) from exc
+    if len(raw) != entry.raw_size:
+        raise StorageError(
+            f"cell chunk at offset {entry.offset} decompressed to "
+            f"{len(raw)} bytes, chunk index promises {entry.raw_size}"
+        )
+    return raw
+
+
+# -- legacy (format 1) cell id recovery ---------------------------------
+
+
+def cell_digest(cell_id: Hashable) -> str:
+    """The stable digest both file-name schemes derive from a cell id."""
+    return hashlib.sha1(repr(cell_id).encode("utf-8")).hexdigest()[:24]
+
+
+def recover_legacy_cell_id(
+    digest: str, records: list[IndexedRecord]
+) -> tuple[int, ...] | None:
+    """Recover a legacy file's cell id from its records, or ``None``.
+
+    Legacy file names are ``cell_<sha1(repr(cell_id))[:24]>.bin`` — a
+    one-way hash — but the M-Index only ever stores cells whose id is a
+    prefix of every member record's pivot permutation. That bounds the
+    candidates to ``n_pivots + 1`` tuples, and hashing each candidate
+    identifies the original id *exactly* (no structural guessing).
+    Returns ``None`` when no prefix matches, e.g. for cell ids that
+    were never permutation prefixes.
+    """
+    if not records:
+        return None
+    permutation = records[0].ensure_permutation()
+    for length in range(permutation.shape[0] + 1):
+        candidate = tuple(int(p) for p in permutation[:length])
+        if cell_digest(candidate) == digest:
+            return candidate
+    return None
+
+
+# -- the block cache ----------------------------------------------------
+
+
+class BlockCache:
+    """Byte-budgeted LRU cache of decoded (decompressed raw) chunks.
+
+    Keys are ``(file name, chunk ordinal)``; values are the chunk's raw
+    frame bytes. The budget counts raw bytes, so the cache's memory
+    footprint is bounded regardless of compression ratio. A zero
+    budget disables caching (every lookup misses), mirroring the
+    client-side candidate cache's opt-out. Callers provide their own
+    locking — :class:`~repro.storage.disk.DiskStorage` serializes all
+    cache access under its accounting mutex.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise StorageError(
+                f"cache budget must be >= 0, got {capacity_bytes}"
+            )
+        self.capacity_bytes = int(capacity_bytes)
+        self._entries: OrderedDict[tuple[str, int], bytes] = OrderedDict()
+        self._used = 0
+
+    def get(self, file_name: str, ordinal: int) -> bytes | None:
+        """The cached raw chunk, or ``None`` on a miss."""
+        raw = self._entries.get((file_name, ordinal))
+        if raw is None:
+            return None
+        self._entries.move_to_end((file_name, ordinal))
+        return raw
+
+    def put(self, file_name: str, ordinal: int, raw: bytes) -> None:
+        """Insert a decoded chunk, evicting least-recently-used ones."""
+        if self.capacity_bytes == 0 or len(raw) > self.capacity_bytes:
+            return
+        key = (file_name, ordinal)
+        previous = self._entries.pop(key, None)
+        if previous is not None:
+            self._used -= len(previous)
+        self._entries[key] = raw
+        self._used += len(raw)
+        while self._used > self.capacity_bytes:
+            _evicted_key, evicted = self._entries.popitem(last=False)
+            self._used -= len(evicted)
+
+    def invalidate_file(self, file_name: str) -> None:
+        """Drop every chunk cached for one file (replace/delete)."""
+        stale = [key for key in self._entries if key[0] == file_name]
+        for key in stale:
+            self._used -= len(self._entries.pop(key))
+
+    def clear(self) -> None:
+        """Drop all entries."""
+        self._entries.clear()
+        self._used = 0
+
+    @property
+    def used_bytes(self) -> int:
+        """Raw bytes currently held."""
+        return self._used
+
+    def __len__(self) -> int:
+        return len(self._entries)

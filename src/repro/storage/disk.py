@@ -1,119 +1,295 @@
-"""File-backed bucket storage (Table 2: CoPhIR uses disk storage).
+"""Crash-safe, restart-aware file-backed bucket storage.
 
-Each Voronoi cell is one file of concatenated length-prefixed record
-encodings under a storage directory. A small in-memory catalog maps cell
-ids to file names and record counts, so existence checks and size
-queries never touch the disk.
+Each Voronoi cell is one file of independently compressed chunks
+(:mod:`repro.storage.chunks`, format version 2), and a persisted
+manifest (:mod:`repro.storage.manifest`) maps cell ids to file name,
+record count and per-file chunk index. Reopening a directory
+reconstructs the full catalog from the manifest — so
+``MIndex.rebuild_from_storage`` after a process restart sees every
+cell, which is the durability story the paper's "CoPhIR on disk"
+configuration rests on.
+
+Write protocol (the manifest is the commit point):
+
+* ``save``/``save_many`` build the whole replacement file in memory,
+  write it to a *new-generation* file name via tmp + fsync +
+  ``os.replace``, commit the manifest atomically, then unlink the old
+  generation. A crash at any instant leaves the directory describing
+  either the complete old cell or the complete new one.
+* ``append``/``append_many`` compress just the new tail chunk(s),
+  fsync the data file, then commit the manifest. A crash before the
+  commit leaves a torn tail *after* the manifest's valid byte length,
+  which reopening truncates away.
+* ``delete`` commits the manifest first, then unlinks; an orphaned
+  cell file is cleaned up on reopen.
+
+Reads go through a byte-budgeted LRU :class:`BlockCache` of decoded
+chunks, with exact ``block_cache_hits`` / ``block_cache_misses`` /
+``chunks_decompressed`` counters next to the classic I/O accounting.
+
+Legacy directories written by the seed's format (raw frame files, no
+manifest) are scavenged on open: chunked files are self-describing,
+and legacy cell ids are recovered exactly by hashing candidate
+permutation prefixes against the file name (see
+:func:`~repro.storage.chunks.recover_legacy_cell_id`). Legacy files
+stay readable in place and are upgraded to the chunked format on their
+next full rewrite.
+
+Thread safety: catalog, cache and counter state are guarded by one
+mutex, so any number of concurrent readers (the batched query engine
+runs one thread per query) observe exact accounting. Mutating
+operations additionally assume the *exclusive-writer* discipline the
+server enforces at its ``ReadWriteLock`` — inserts/deletes never run
+concurrently with each other or with reads (asserted in the storage
+contract tests).
 """
 
 from __future__ import annotations
 
-import hashlib
+import json
 import os
-import struct
+import re
 import threading
 from pathlib import Path
 from typing import Hashable, Iterator, Mapping
 
 from repro.core.records import IndexedRecord
 from repro.exceptions import StorageError
+from repro.storage.chunks import (
+    DEFAULT_CHUNK_RAW_BYTES,
+    FORMAT_CHUNKED,
+    FORMAT_LEGACY,
+    BlockCache,
+    ChunkEntry,
+    build_chunks,
+    cell_digest,
+    decompress_chunk,
+    encode_file_header,
+    frame_record,
+    is_chunked_blob,
+    parse_frames,
+    read_file_header,
+    recover_legacy_cell_id,
+    scan_chunks,
+)
+from repro.storage.manifest import (
+    MANIFEST_NAME,
+    CellEntry,
+    atomic_write_bytes,
+    decode_cell_id,
+    encode_cell_id,
+    read_manifest,
+    render_manifest,
+)
 
-__all__ = ["DiskStorage"]
+__all__ = ["DEFAULT_CACHE_BYTES", "DiskStorage"]
 
-_LEN = struct.Struct("<I")
+#: default byte budget of the decoded-chunk LRU cache
+DEFAULT_CACHE_BYTES = 16 * 1024 * 1024
+
+_CHUNK_HEADER_SIZE = 12  # struct <III> — see repro.storage.chunks
+_CHUNKED_NAME = re.compile(r"^cell_[0-9a-f]{24}\.g(\d+)\.chk$")
+_LEGACY_NAME = re.compile(r"^cell_([0-9a-f]{24})\.bin$")
 
 
 class DiskStorage:
-    """One-file-per-cell disk storage with I/O accounting.
+    """Chunk-compressed, manifest-backed disk storage with a block cache.
 
-    Counter updates are mutex-guarded so concurrent search handlers
-    (one reader thread per query of a batch) keep the accounting exact.
+    Parameters
+    ----------
+    directory:
+        Storage directory; created if missing, reopened (catalog and
+        chunk indexes restored) if it already holds a manifest or
+        legacy cell files.
+    chunk_raw_bytes:
+        Target uncompressed bytes per chunk (~64 KiB default).
+    cache_bytes:
+        Byte budget of the decoded-chunk LRU cache; ``0`` disables
+        caching (every chunk access is a counted miss).
     """
 
-    def __init__(self, directory: str | os.PathLike) -> None:
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        chunk_raw_bytes: int = DEFAULT_CHUNK_RAW_BYTES,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+    ) -> None:
+        if chunk_raw_bytes <= 0:
+            raise StorageError(
+                f"chunk size must be positive, got {chunk_raw_bytes}"
+            )
         self._dir = Path(directory)
         self._dir.mkdir(parents=True, exist_ok=True)
-        self._catalog: dict[Hashable, tuple[str, int]] = {}
-        self._accounting = threading.Lock()
+        self._chunk_raw = int(chunk_raw_bytes)
+        self._catalog: dict[Hashable, CellEntry] = {}
+        self._lock = threading.Lock()
+        self.block_cache = BlockCache(cache_bytes)
         self.bytes_written = 0
         self.bytes_read = 0
         self.reads = 0
         self.writes = 0
+        self.block_cache_hits = 0
+        self.block_cache_misses = 0
+        self.chunks_decompressed = 0
+        self.manifest_writes = 0
+        self._open_directory()
 
     # -- core interface (mirrors MemoryStorage) -------------------------
 
     def save(self, cell_id: Hashable, records: list[IndexedRecord]) -> None:
-        """Store (replace) the record list of a cell."""
-        name = self._file_name(cell_id)
-        blob = b"".join(self._frame(r) for r in records)
-        (self._dir / name).write_bytes(blob)
-        self._catalog[cell_id] = (name, len(records))
-        with self._accounting:
-            self.bytes_written += len(blob)
-            self.writes += 1
+        """Store (replace) the record list of a cell, atomically."""
+        stale = self._save_one(cell_id, list(records))
+        self._commit_manifest()
+        self._unlink_quietly(stale)
 
     def save_many(
         self, cells: Mapping[Hashable, list[IndexedRecord]]
     ) -> None:
         """Store (replace) several cells in one call.
 
-        Each cell is still one file, so one physical write is charged
-        per cell — identical to a loop of :meth:`save` calls (which is
-        exactly what this is; the bulk win on this path comes from the
-        loader touching every cell once, not from the storage layer).
+        Each cell is still one file and charges one physical write —
+        the same accounting as a loop of :meth:`save` calls — but the
+        whole batch commits through a *single* manifest write, so the
+        bulk loader's many-cell persist is one commit point, not one
+        per cell.
         """
-        for cell_id, records in cells.items():
-            self.save(cell_id, records)
+        stales = [
+            self._save_one(cell_id, list(records))
+            for cell_id, records in cells.items()
+        ]
+        self._commit_manifest()
+        for stale in stales:
+            self._unlink_quietly(stale)
 
     def append(self, cell_id: Hashable, record: IndexedRecord) -> None:
-        """Append one record to a cell file, creating it if missing."""
-        name, count = self._catalog.get(cell_id, (self._file_name(cell_id), 0))
-        frame = self._frame(record)
-        with open(self._dir / name, "ab") as fh:
-            fh.write(frame)
-        self._catalog[cell_id] = (name, count + 1)
-        with self._accounting:
-            self.bytes_written += len(frame)
-            self.writes += 1
+        """Append one record to a cell, creating it if missing."""
+        self.append_many(cell_id, [record])
 
     def append_many(
         self, cell_id: Hashable, records: list[IndexedRecord]
     ) -> None:
-        """Append a group of records to a cell file in one write.
+        """Append a group of records to a cell in one physical write.
 
-        The whole group is framed into one buffer and lands through a
-        single file open + write, charged as one physical write — the
-        bulk-insert path's amortization over per-record :meth:`append`.
+        The group is compressed into new tail chunk(s) and lands
+        through a single file open + write + fsync, charged as one
+        physical write — the bulk-insert path's amortization over
+        per-record :meth:`append`. Cached chunks of the cell stay
+        valid (appends never rewrite existing chunks). Appends to a
+        legacy-format cell keep its raw-frame layout so the file
+        remains readable by its original format.
         """
         if not records:
             return
-        name, count = self._catalog.get(cell_id, (self._file_name(cell_id), 0))
-        blob = b"".join(self._frame(r) for r in records)
-        with open(self._dir / name, "ab") as fh:
-            fh.write(blob)
-        self._catalog[cell_id] = (name, count + len(records))
-        with self._accounting:
-            self.bytes_written += len(blob)
+        with self._lock:
+            entry = self._catalog.get(cell_id)
+        if entry is None:
+            # a fresh cell: identical to a save of the group
+            stale = self._save_one(cell_id, list(records))
+            self._commit_manifest()
+            self._unlink_quietly(stale)
+            return
+        path = self._dir / entry.file_name
+        if entry.fmt == FORMAT_LEGACY:
+            payload = b"".join(frame_record(record) for record in records)
+            new_chunks: list[ChunkEntry] = []
+        else:
+            payload, new_chunks = build_chunks(
+                records,
+                base_offset=entry.size,
+                chunk_raw_bytes=self._chunk_raw,
+            )
+        try:
+            with open(path, "r+b") as handle:
+                handle.seek(entry.size)
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except FileNotFoundError as exc:
+            raise StorageError(
+                f"cell file missing for {cell_id!r}"
+            ) from exc
+        with self._lock:
+            entry.count += len(records)
+            entry.size += len(payload)
+            entry.chunks.extend(new_chunks)
+            self.bytes_written += len(payload)
             self.writes += 1
+        self._commit_manifest()
 
     def load(self, cell_id: Hashable) -> list[IndexedRecord]:
-        """Read back the records of a cell (empty list if absent)."""
-        entry = self._catalog.get(cell_id)
-        if entry is None:
-            return []
-        name, _count = entry
-        blob = (self._dir / name).read_bytes()
-        with self._accounting:
-            self.bytes_read += len(blob)
+        """Read back the records of a cell (empty list if absent).
+
+        Only the cell's own chunks are decompressed, and of those only
+        the ones not already in the block cache; a load of an absent
+        cell touches no disk and charges nothing.
+        """
+        with self._lock:
+            entry = self._catalog.get(cell_id)
+            if entry is None:
+                return []
+            file_name = entry.file_name
+            fmt = entry.fmt
+            size = entry.size
+            chunks = list(entry.chunks)
+        path = self._dir / file_name
+        if fmt == FORMAT_LEGACY:
+            blob = self._read_exact(path, 0, size, cell_id)
+            records = list(parse_frames(blob))
+            with self._lock:
+                self.bytes_read += size
+                self.reads += 1
+            return records
+        records = []
+        handle = None
+        try:
+            for ordinal, chunk in enumerate(chunks):
+                with self._lock:
+                    raw = self.block_cache.get(file_name, ordinal)
+                if raw is None:
+                    if handle is None:
+                        try:
+                            handle = open(path, "rb")
+                        except FileNotFoundError as exc:
+                            raise StorageError(
+                                f"cell file missing for {cell_id!r}"
+                            ) from exc
+                    handle.seek(chunk.offset + _CHUNK_HEADER_SIZE)
+                    comp = handle.read(chunk.comp_size)
+                    if len(comp) != chunk.comp_size:
+                        raise StorageError(
+                            f"cell file truncated for {cell_id!r}: chunk "
+                            f"at offset {chunk.offset} is incomplete"
+                        )
+                    raw = decompress_chunk(comp, chunk)
+                    with self._lock:
+                        self.block_cache_misses += 1
+                        self.chunks_decompressed += 1
+                        self.bytes_read += chunk.comp_size
+                        self.block_cache.put(file_name, ordinal, raw)
+                else:
+                    with self._lock:
+                        self.block_cache_hits += 1
+                records.extend(parse_frames(raw))
+        finally:
+            if handle is not None:
+                handle.close()
+        with self._lock:
             self.reads += 1
-        return list(self._parse(blob))
+        return records
 
     def delete(self, cell_id: Hashable) -> None:
-        """Remove a cell and its file."""
-        entry = self._catalog.pop(cell_id, None)
-        if entry is None:
-            raise StorageError(f"cell {cell_id!r} does not exist")
-        path = self._dir / entry[0]
+        """Remove a cell and its file; charged as one physical write."""
+        with self._lock:
+            entry = self._catalog.pop(cell_id, None)
+            if entry is None:
+                raise StorageError(f"cell {cell_id!r} does not exist")
+            self.block_cache.invalidate_file(entry.file_name)
+            self.writes += 1
+        # manifest first: a crash between commit and unlink leaves an
+        # orphaned file (cleaned on reopen), never a dangling reference
+        self._commit_manifest()
+        path = self._dir / entry.file_name
         try:
             path.unlink()
         except FileNotFoundError as exc:
@@ -121,46 +297,243 @@ class DiskStorage:
 
     def cell_size(self, cell_id: Hashable) -> int:
         """Number of records in a cell (from the catalog, no I/O)."""
-        entry = self._catalog.get(cell_id)
-        return 0 if entry is None else entry[1]
+        with self._lock:
+            entry = self._catalog.get(cell_id)
+            return 0 if entry is None else entry.count
 
     def cells(self) -> Iterator[Hashable]:
-        """Iterate over existing cell ids."""
-        return iter(self._catalog.keys())
+        """Iterate over existing cell ids (a catalog snapshot)."""
+        with self._lock:
+            return iter(list(self._catalog.keys()))
 
     def __len__(self) -> int:
         """Total number of stored records."""
-        return sum(count for _name, count in self._catalog.values())
+        with self._lock:
+            return sum(entry.count for entry in self._catalog.values())
 
     def reset_accounting(self) -> None:
-        """Zero the I/O counters."""
-        self.bytes_written = 0
-        self.bytes_read = 0
-        self.reads = 0
-        self.writes = 0
+        """Zero the I/O, cache and manifest counters."""
+        with self._lock:
+            self.bytes_written = 0
+            self.bytes_read = 0
+            self.reads = 0
+            self.writes = 0
+            self.block_cache_hits = 0
+            self.block_cache_misses = 0
+            self.chunks_decompressed = 0
+            self.manifest_writes = 0
 
-    # -- helpers -----------------------------------------------------------
+    # -- restart / recovery ---------------------------------------------
 
-    @staticmethod
-    def _frame(record: IndexedRecord) -> bytes:
-        blob = record.to_bytes()
-        return _LEN.pack(len(blob)) + blob
+    def _open_directory(self) -> None:
+        """Restore the catalog from the manifest, or scavenge without one.
 
-    @staticmethod
-    def _parse(blob: bytes) -> Iterator[IndexedRecord]:
-        offset = 0
-        total = len(blob)
-        while offset < total:
-            if offset + _LEN.size > total:
-                raise StorageError("cell file truncated (frame header)")
-            (length,) = _LEN.unpack_from(blob, offset)
-            offset += _LEN.size
-            if offset + length > total:
-                raise StorageError("cell file truncated (frame body)")
-            yield IndexedRecord.from_bytes(blob[offset : offset + length])
-            offset += length
+        Reopen order: stray ``*.tmp`` files from interrupted atomic
+        writes are removed; a readable manifest is validated entry by
+        entry (torn tails beyond each entry's valid length are
+        truncated away — the crashed-append case); an absent or
+        corrupt manifest falls back to scavenging every ``cell_*``
+        file, CoZip-style; finally, cell files the catalog does not
+        reference (crash orphans of replace/delete) are unlinked and a
+        fresh manifest is committed when anything changed.
+        """
+        for stray in self._dir.glob("*.tmp"):
+            stray.unlink()
+        dirty = False
+        try:
+            entries = read_manifest(self._dir)
+        except StorageError:
+            entries = None  # corrupt manifest: fall back to scavenging
+        if entries is not None:
+            for entry in entries:
+                self._validate_entry(entry)
+                self._catalog[entry.cell_id] = entry
+        else:
+            cell_files = [
+                path
+                for path in self._dir.iterdir()
+                if path.name.startswith("cell_")
+            ]
+            if cell_files:
+                self._scavenge(cell_files)
+                dirty = True
+        referenced = {
+            entry.file_name for entry in self._catalog.values()
+        }
+        for path in self._dir.iterdir():
+            if (
+                path.name.startswith("cell_")
+                and path.name not in referenced
+            ):
+                path.unlink()
+                dirty = True
+        if dirty:
+            self._commit_manifest()
 
-    @staticmethod
-    def _file_name(cell_id: Hashable) -> str:
-        digest = hashlib.sha1(repr(cell_id).encode("utf-8")).hexdigest()[:24]
-        return f"cell_{digest}.bin"
+    def _validate_entry(self, entry: CellEntry) -> None:
+        """Check one manifest entry against the file system, repairing
+        torn tails (bytes past the entry's committed length)."""
+        path = self._dir / entry.file_name
+        try:
+            actual = path.stat().st_size
+        except FileNotFoundError as exc:
+            raise StorageError(
+                f"manifest references missing cell file "
+                f"{entry.file_name}"
+            ) from exc
+        if actual < entry.size:
+            raise StorageError(
+                f"cell file {entry.file_name} holds {actual} bytes, "
+                f"manifest promises {entry.size}"
+            )
+        if actual > entry.size:
+            os.truncate(path, entry.size)
+
+    def _scavenge(self, cell_files: list[Path]) -> None:
+        """Rebuild the catalog from cell files alone (no manifest).
+
+        Chunked files are self-describing (cell id in the header, chunk
+        index recoverable by scanning chunk headers); legacy raw-frame
+        files get their cell id back by hashing candidate permutation
+        prefixes against the file name. When several generations of
+        one cell survive a crash, the highest generation wins; losers
+        are removed by the orphan sweep that follows.
+        """
+        best: dict[Hashable, CellEntry] = {}
+        for path in sorted(cell_files):
+            blob = path.read_bytes()
+            if is_chunked_blob(blob):
+                entry = self._scavenge_chunked(path, blob)
+            else:
+                entry = self._scavenge_legacy(path, blob)
+            current = best.get(entry.cell_id)
+            if current is None or entry.generation > current.generation:
+                best[entry.cell_id] = entry
+        self._catalog = dict(best)
+
+    def _scavenge_chunked(self, path: Path, blob: bytes) -> CellEntry:
+        id_json, header_len = read_file_header(blob)
+        try:
+            cell_id = decode_cell_id(json.loads(id_json.decode("utf-8")))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise StorageError(
+                f"chunked cell file {path.name} carries an unreadable "
+                f"cell id: {exc}"
+            ) from exc
+        chunks, end = scan_chunks(blob, header_len)
+        if end < len(blob):
+            os.truncate(path, end)  # torn tail from a crashed append
+        match = _CHUNKED_NAME.match(path.name)
+        generation = int(match.group(1)) if match else 0
+        return CellEntry(
+            cell_id=cell_id,
+            file_name=path.name,
+            fmt=FORMAT_CHUNKED,
+            count=sum(chunk.n_records for chunk in chunks),
+            size=end,
+            generation=generation,
+            chunks=chunks,
+        )
+
+    def _scavenge_legacy(self, path: Path, blob: bytes) -> CellEntry:
+        match = _LEGACY_NAME.match(path.name)
+        if match is None:
+            raise StorageError(
+                f"unrecognized cell file {path.name} (neither chunked "
+                "format nor legacy naming)"
+            )
+        records = list(parse_frames(blob))
+        cell_id = recover_legacy_cell_id(match.group(1), records)
+        if cell_id is None:
+            raise StorageError(
+                f"cannot recover the cell id of legacy file "
+                f"{path.name}: no permutation prefix of its records "
+                "hashes to the file name"
+            )
+        return CellEntry(
+            cell_id=cell_id,
+            file_name=path.name,
+            fmt=FORMAT_LEGACY,
+            count=len(records),
+            size=len(blob),
+            generation=-1,  # any chunked rewrite supersedes it
+            chunks=[],
+        )
+
+    # -- write-path helpers ----------------------------------------------
+
+    def _save_one(
+        self, cell_id: Hashable, records: list[IndexedRecord]
+    ) -> str | None:
+        """Write one cell's replacement file; returns the stale file
+        name to unlink *after* the manifest commit (or ``None``)."""
+        with self._lock:
+            old = self._catalog.get(cell_id)
+        generation = 0 if old is None else old.generation + 1
+        id_json = json.dumps(
+            encode_cell_id(cell_id), separators=(",", ":")
+        ).encode("utf-8")
+        header = encode_file_header(id_json)
+        payload, chunks = build_chunks(
+            records,
+            base_offset=len(header),
+            chunk_raw_bytes=self._chunk_raw,
+        )
+        file_bytes = header + payload
+        file_name = f"cell_{cell_digest(cell_id)}.g{generation}.chk"
+        atomic_write_bytes(self._dir / file_name, file_bytes)
+        entry = CellEntry(
+            cell_id=cell_id,
+            file_name=file_name,
+            fmt=FORMAT_CHUNKED,
+            count=len(records),
+            size=len(file_bytes),
+            generation=generation,
+            chunks=chunks,
+        )
+        with self._lock:
+            self._catalog[cell_id] = entry
+            if old is not None:
+                self.block_cache.invalidate_file(old.file_name)
+            self.bytes_written += len(file_bytes)
+            self.writes += 1
+        if old is not None and old.file_name != file_name:
+            return old.file_name
+        return None
+
+    def _commit_manifest(self) -> None:
+        """Atomically persist the catalog — the storage commit point."""
+        with self._lock:
+            entries = sorted(
+                self._catalog.values(), key=lambda entry: entry.file_name
+            )
+            blob = render_manifest(entries)
+        atomic_write_bytes(self._dir / MANIFEST_NAME, blob)
+        with self._lock:
+            self.manifest_writes += 1
+
+    def _unlink_quietly(self, file_name: str | None) -> None:
+        if file_name is None:
+            return
+        try:
+            (self._dir / file_name).unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def _read_exact(
+        self, path: Path, offset: int, length: int, cell_id: Hashable
+    ) -> bytes:
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                blob = handle.read(length)
+        except FileNotFoundError as exc:
+            raise StorageError(
+                f"cell file missing for {cell_id!r}"
+            ) from exc
+        if len(blob) != length:
+            raise StorageError(
+                f"cell file truncated for {cell_id!r}: expected "
+                f"{length} bytes at offset {offset}, got {len(blob)}"
+            )
+        return blob

@@ -74,18 +74,27 @@ class MemoryStorage:
             self.writes += 1
 
     def load(self, cell_id: Hashable) -> list[IndexedRecord]:
-        """Return the records of a cell (empty list if absent)."""
-        records = self._cells.get(cell_id, [])
+        """Return the records of a cell (empty list if absent).
+
+        Loading an absent cell charges nothing — the disk backend
+        answers it from its catalog without touching a file, and the
+        backends must account identically (storage-contract parity).
+        """
+        records = self._cells.get(cell_id)
+        if records is None:
+            return []
         with self._accounting:
             self.bytes_read += sum(r.wire_size for r in records)
             self.reads += 1
         return list(records)
 
     def delete(self, cell_id: Hashable) -> None:
-        """Remove a cell entirely."""
+        """Remove a cell entirely; charged as one physical write."""
         if cell_id not in self._cells:
             raise StorageError(f"cell {cell_id!r} does not exist")
         del self._cells[cell_id]
+        with self._accounting:
+            self.writes += 1
 
     def cell_size(self, cell_id: Hashable) -> int:
         """Number of records in a cell without charging a read."""

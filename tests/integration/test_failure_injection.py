@@ -28,7 +28,11 @@ class TestDiskCorruption:
             for i in range(5)
         ]
         storage.save(("c",), records)
-        path = next((tmp_path / "cells").iterdir())
+        path = next(
+            p
+            for p in (tmp_path / "cells").iterdir()
+            if p.name.startswith("cell_")
+        )
         return storage, path
 
     def test_truncated_cell_file(self, tmp_path):
@@ -38,12 +42,25 @@ class TestDiskCorruption:
         with pytest.raises((StorageError, ProtocolError)):
             storage.load(("c",))
 
-    def test_truncated_frame_header(self, tmp_path):
+    def test_corrupted_chunk_payload(self, tmp_path):
         storage, path = self._storage_with_cell(tmp_path)
-        blob = path.read_bytes()
-        path.write_bytes(blob + b"\x01\x02")  # dangling partial header
+        blob = bytearray(path.read_bytes())
+        blob[-3] ^= 0xFF  # flip a byte inside the compressed payload
+        path.write_bytes(bytes(blob))
         with pytest.raises((StorageError, ProtocolError)):
             storage.load(("c",))
+
+    def test_trailing_garbage_is_crash_tolerated(self, tmp_path):
+        """Bytes past the manifest's committed length are a crashed
+        append (data landed, manifest did not) — loads read only the
+        indexed chunks, and reopening truncates the torn tail."""
+        storage, path = self._storage_with_cell(tmp_path)
+        blob = path.read_bytes()
+        path.write_bytes(blob + b"\x01\x02")  # torn tail
+        assert [r.oid for r in storage.load(("c",))] == [0, 1, 2, 3, 4]
+        reopened = DiskStorage(path.parent)
+        assert [r.oid for r in reopened.load(("c",))] == [0, 1, 2, 3, 4]
+        assert path.stat().st_size == len(blob)
 
     def test_bitflipped_record_payload_still_parses_but_fails_auth(
         self, approx_cloud, queries

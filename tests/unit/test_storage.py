@@ -1,11 +1,19 @@
 """Unit tests for repro.storage (bucket, memory and disk backends)."""
 
+import json
+import threading
+
 import numpy as np
 import pytest
 
 from repro.core.records import IndexedRecord
 from repro.exceptions import BucketCapacityError, StorageError
 from repro.storage.bucket import Bucket
+from repro.storage.chunks import (
+    BlockCache,
+    build_chunks,
+    scan_chunks,
+)
 from repro.storage.disk import DiskStorage
 from repro.storage.memory import MemoryStorage
 
@@ -160,21 +168,281 @@ class TestDiskStorage(_StorageContract):
     def make(self, tmp_path):
         return DiskStorage(tmp_path / "cells")
 
+    @staticmethod
+    def _cell_files(tmp_path):
+        return [
+            path
+            for path in (tmp_path / "cells").iterdir()
+            if path.name.startswith("cell_")
+        ]
+
     def test_files_created_on_disk(self, tmp_path):
         storage = self.make(tmp_path)
         storage.save(("a", "b"), [_record(1)])
-        files = list((tmp_path / "cells").iterdir())
+        files = self._cell_files(tmp_path)
         assert len(files) == 1
-        assert files[0].name.startswith("cell_")
+        # plus the persisted catalog next to it
+        assert (tmp_path / "cells" / "manifest.json").exists()
 
     def test_distinct_cells_distinct_files(self, tmp_path):
         storage = self.make(tmp_path)
         storage.save((1,), [_record(1)])
         storage.save((2,), [_record(2)])
-        assert len(list((tmp_path / "cells").iterdir())) == 2
+        assert len(self._cell_files(tmp_path)) == 2
 
     def test_delete_removes_file(self, tmp_path):
         storage = self.make(tmp_path)
         storage.save((1,), [_record(1)])
         storage.delete((1,))
-        assert list((tmp_path / "cells").iterdir()) == []
+        # the cell file is gone; the (now empty) manifest remains
+        assert self._cell_files(tmp_path) == []
+        assert (tmp_path / "cells" / "manifest.json").exists()
+
+    def test_save_replaces_old_generation_file(self, tmp_path):
+        storage = self.make(tmp_path)
+        storage.save((1,), [_record(1), _record(2)])
+        storage.save((1,), [_record(3)])
+        # the rewrite bumped the generation and removed the old file
+        files = self._cell_files(tmp_path)
+        assert len(files) == 1
+        assert files[0].name.endswith(".g1.chk")
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        storage = self.make(tmp_path)
+        storage.save_many({(i,): [_record(i)] for i in range(4)})
+        storage.append_many((0,), [_record(9)])
+        storage.delete((3,))
+        names = [p.name for p in (tmp_path / "cells").iterdir()]
+        assert not [name for name in names if name.endswith(".tmp")]
+
+
+class TestAccountingParity:
+    """Backend accounting parity: both backends must charge the same
+    logical operations (only the *byte* counters may differ — disk
+    reports physical compressed bytes)."""
+
+    @staticmethod
+    def _counters(storage):
+        return (storage.reads, storage.writes)
+
+    def _pair(self, tmp_path):
+        return MemoryStorage(), DiskStorage(tmp_path / "cells")
+
+    def test_absent_cell_load_charges_nothing(self, tmp_path):
+        for storage in self._pair(tmp_path):
+            assert storage.load(("nope",)) == []
+            assert self._counters(storage) == (0, 0)
+            assert storage.bytes_read == 0
+
+    def test_delete_charges_one_write(self, tmp_path):
+        for storage in self._pair(tmp_path):
+            storage.save(("x",), [_record(1)])
+            writes_before = storage.writes
+            storage.delete(("x",))
+            assert storage.writes == writes_before + 1
+
+    def test_op_counters_identical_across_backends(self, tmp_path):
+        def drive(storage):
+            storage.save(("a",), [_record(i) for i in range(3)])
+            storage.save_many({("b",): [_record(3)], ("c",): [_record(4)]})
+            storage.append(("a",), _record(5))
+            storage.append_many(("b",), [_record(6), _record(7)])
+            storage.load(("a",))
+            storage.load(("missing",))
+            storage.delete(("c",))
+            return (storage.reads, storage.writes)
+
+        memory, disk = self._pair(tmp_path)
+        assert drive(memory) == drive(disk)
+
+
+class TestChunkFormat:
+    def test_records_never_span_chunks(self):
+        records = [_record(i) for i in range(50)]
+        payload, entries = build_chunks(
+            records, base_offset=0, chunk_raw_bytes=64
+        )
+        assert len(entries) > 1  # tiny budget forces many chunks
+        assert sum(e.n_records for e in entries) == len(records)
+        rescanned, end = scan_chunks(payload, 0)
+        assert rescanned == entries
+        assert end == len(payload)
+
+    def test_scan_ignores_torn_tail(self):
+        payload, entries = build_chunks(
+            [_record(i) for i in range(10)], base_offset=0,
+            chunk_raw_bytes=64,
+        )
+        torn = payload + b"\x99\x00\x00\x00\x01"  # half a chunk header
+        rescanned, end = scan_chunks(torn, 0)
+        assert rescanned == entries
+        assert end == len(payload)
+
+    def test_multi_chunk_cell_roundtrips(self, tmp_path):
+        storage = DiskStorage(tmp_path / "cells", chunk_raw_bytes=64)
+        records = [_record(i) for i in range(40)]
+        storage.save((7,), records)
+        assert [r.oid for r in storage.load((7,))] == list(range(40))
+
+    def test_compression_shrinks_redundant_payloads(self, tmp_path):
+        storage = DiskStorage(tmp_path / "cells")
+        records = [
+            IndexedRecord(
+                i, np.arange(4, dtype=np.int32), None, b"abc123" * 400
+            )
+            for i in range(30)
+        ]
+        storage.save((1,), records)
+        raw = sum(r.wire_size for r in records)
+        assert storage.bytes_written < raw / 2
+
+
+class TestBlockCache:
+    def test_hit_miss_and_lru_eviction(self):
+        cache = BlockCache(100)
+        cache.put("f", 0, b"a" * 40)
+        cache.put("f", 1, b"b" * 40)
+        assert cache.get("f", 0) == b"a" * 40  # 0 is now most recent
+        cache.put("f", 2, b"c" * 40)  # evicts ordinal 1 (LRU)
+        assert cache.get("f", 1) is None
+        assert cache.get("f", 0) is not None
+        assert cache.used_bytes == 80
+
+    def test_zero_budget_disables(self):
+        cache = BlockCache(0)
+        cache.put("f", 0, b"x")
+        assert cache.get("f", 0) is None
+        assert len(cache) == 0
+
+    def test_oversized_value_not_cached(self):
+        cache = BlockCache(10)
+        cache.put("f", 0, b"x" * 11)
+        assert cache.get("f", 0) is None
+
+    def test_invalidate_file(self):
+        cache = BlockCache(100)
+        cache.put("f", 0, b"aa")
+        cache.put("g", 0, b"bb")
+        cache.invalidate_file("f")
+        assert cache.get("f", 0) is None
+        assert cache.get("g", 0) == b"bb"
+        assert cache.used_bytes == 2
+
+    def test_disk_counters_are_exact(self, tmp_path):
+        storage = DiskStorage(tmp_path / "cells", chunk_raw_bytes=64)
+        storage.save((1,), [_record(i) for i in range(20)])
+        n_chunks = len(storage._catalog[(1,)].chunks)
+        assert n_chunks > 1
+        storage.reset_accounting()
+        storage.load((1,))  # cold: every chunk misses and decompresses
+        assert storage.block_cache_misses == n_chunks
+        assert storage.chunks_decompressed == n_chunks
+        assert storage.block_cache_hits == 0
+        storage.load((1,))  # hot: every chunk hits
+        assert storage.block_cache_hits == n_chunks
+        assert storage.block_cache_misses == n_chunks
+        # the invariant the bench reports rest on
+        accesses = storage.block_cache_hits + storage.block_cache_misses
+        assert accesses == 2 * n_chunks
+        assert storage.chunks_decompressed == storage.block_cache_misses
+
+    def test_cache_disabled_always_misses(self, tmp_path):
+        storage = DiskStorage(
+            tmp_path / "cells", chunk_raw_bytes=64, cache_bytes=0
+        )
+        storage.save((1,), [_record(i) for i in range(20)])
+        storage.reset_accounting()
+        storage.load((1,))
+        storage.load((1,))
+        assert storage.block_cache_hits == 0
+        assert storage.chunks_decompressed == storage.block_cache_misses
+        assert storage.block_cache_misses > 0
+
+    def test_save_invalidates_cached_chunks(self, tmp_path):
+        storage = DiskStorage(tmp_path / "cells")
+        storage.save((1,), [_record(1), _record(2)])
+        storage.load((1,))  # populate the cache
+        storage.save((1,), [_record(3)])  # replace the cell
+        assert [r.oid for r in storage.load((1,))] == [3]
+
+    def test_cached_load_charges_logical_read(self, tmp_path):
+        storage = DiskStorage(tmp_path / "cells")
+        storage.save((1,), [_record(1)])
+        storage.reset_accounting()
+        storage.load((1,))
+        storage.load((1,))  # served from cache...
+        assert storage.reads == 2  # ...but still a logical read
+        # physical bytes were read once (cold load only)
+        assert storage.bytes_read > 0
+        cold_bytes = storage.bytes_read
+        storage.load((1,))
+        assert storage.bytes_read == cold_bytes
+
+
+class TestManifest:
+    def test_manifest_is_valid_json_with_chunk_index(self, tmp_path):
+        storage = DiskStorage(tmp_path / "cells", chunk_raw_bytes=64)
+        storage.save((1, 2), [_record(i) for i in range(20)])
+        document = json.loads(
+            (tmp_path / "cells" / "manifest.json").read_text()
+        )
+        assert document["version"] == 1
+        (cell,) = document["cells"]
+        assert cell["id"] == {"t": [1, 2]}
+        assert cell["count"] == 20
+        assert len(cell["chunks"]) > 1
+
+    def test_append_commits_manifest(self, tmp_path):
+        storage = DiskStorage(tmp_path / "cells")
+        storage.save((1,), [_record(1)])
+        storage.append_many((1,), [_record(2), _record(3)])
+        document = json.loads(
+            (tmp_path / "cells" / "manifest.json").read_text()
+        )
+        assert document["cells"][0]["count"] == 3
+
+    def test_manifest_writes_counter(self, tmp_path):
+        storage = DiskStorage(tmp_path / "cells")
+        storage.reset_accounting()
+        storage.save_many({(i,): [_record(i)] for i in range(5)})
+        assert storage.manifest_writes == 1  # one commit for the batch
+        storage.save((9,), [_record(9)])
+        assert storage.manifest_writes == 2
+
+
+class TestDiskConcurrentReaders:
+    def test_parallel_loads_account_exactly(self, tmp_path):
+        """Any number of concurrent readers (the server's shared-lock
+        search path) must keep cache and I/O accounting exact; writers
+        are exclusive at the server's ReadWriteLock, which is the
+        discipline the mutating methods assume."""
+        storage = DiskStorage(tmp_path / "cells", chunk_raw_bytes=64)
+        for cell in range(4):
+            storage.save((cell,), [_record(cell * 10 + i) for i in range(10)])
+        n_chunks = {
+            cell: len(storage._catalog[(cell,)].chunks) for cell in range(4)
+        }
+        storage.reset_accounting()
+        n_threads, n_rounds = 8, 5
+        errors = []
+
+        def reader():
+            try:
+                for _ in range(n_rounds):
+                    for cell in range(4):
+                        records = storage.load((cell,))
+                        assert len(records) == 10
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        total_loads = n_threads * n_rounds * 4
+        assert storage.reads == total_loads
+        accesses = storage.block_cache_hits + storage.block_cache_misses
+        assert accesses == n_threads * n_rounds * sum(n_chunks.values())
+        assert storage.chunks_decompressed == storage.block_cache_misses
