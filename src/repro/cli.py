@@ -15,8 +15,9 @@ Four commands for kicking the tires without writing code:
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
-import time
+import threading
 
 import numpy as np
 
@@ -137,18 +138,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     server = cloud._tcp_server
     print(f"serving {len(cloud.server.index)} records on "
           f"{server.host}:{server.port}")
+    # SIGTERM triggers the same graceful path as Ctrl-C: drain (finish
+    # in-flight requests, flush storage), then close
+    stop = threading.Event()
+    previous = None
+    try:
+        previous = signal.signal(
+            signal.SIGTERM, lambda signum, frame: stop.set()
+        )
+    except ValueError:
+        pass  # not the main thread (e.g. under a test runner)
     try:
         if args.duration is None:
             print("press Ctrl-C to stop")
-            while True:
-                time.sleep(3600)
+            while not stop.is_set():
+                stop.wait(3600)
         elif args.duration > 0:
-            time.sleep(args.duration)
+            stop.wait(args.duration)
     except KeyboardInterrupt:
         pass
     finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
+        print("draining ...")
+        drained = cloud.drain(args.drain_timeout)
         cloud.close()
-        print("server stopped")
+        print("server stopped" + ("" if drained else " (drain timed out)"))
     return 0
 
 
@@ -228,6 +243,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--records", type=int, default=3000,
                        help="collection size (cophir only)")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       help="seconds to wait for in-flight requests on "
+                            "shutdown (SIGTERM and Ctrl-C both drain "
+                            "gracefully before closing)")
     serve.add_argument("--duration", type=float, default=None,
                        help="seconds to serve (default: until Ctrl-C; "
                             "0 = start, print the port, and stop)")

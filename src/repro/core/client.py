@@ -52,6 +52,8 @@ from repro.core.costs import (
     DECRYPTION,
     DISTANCE,
     ENCRYPTION,
+    RECONNECTS,
+    RETRIES_ATTEMPTED,
     CostRecorder,
     CostReport,
 )
@@ -169,6 +171,13 @@ class EncryptedClient:
         measure what the paper measured). Enable it for throughput
         workloads: hits skip AES decryption and are counted separately
         so the cost breakdown still reconciles.
+    deadline:
+        Optional per-RPC time budget in seconds applied to every call
+        this client makes. Deadline-capable transports ship the budget
+        to the server (which sheds the request unexecuted once it
+        expires) and raise
+        :class:`~repro.exceptions.DeadlineExceededError` locally; the
+        default ``None`` keeps the unbounded behaviour.
     """
 
     def __init__(
@@ -179,14 +188,22 @@ class EncryptedClient:
         *,
         strategy: Strategy = Strategy.APPROXIMATE,
         cache_size: int = 0,
+        deadline: float | None = None,
     ) -> None:
         self.secret_key = secret_key
         self.space = space
         self.rpc = rpc
         self.strategy = strategy
+        self.deadline = deadline
         self.costs = CostRecorder()
         self.cache = _CandidateCache(cache_size) if cache_size else None
         self._ope: OrderPreservingEncryption | None = None
+
+    def _call(self, method: str, body=b"") -> Reader:
+        """One RPC under the client's deadline policy."""
+        if self.deadline is None:
+            return self.rpc.call(method, body)
+        return self.rpc.call(method, body, deadline=self.deadline)
 
     @property
     def ope(self) -> OrderPreservingEncryption:
@@ -242,7 +259,7 @@ class EncryptedClient:
                 writer = self._encode_bulk(
                     [int(o) for o in oids[start:stop]], vectors[start:stop]
                 )
-            response = self.rpc.call("insert_bulk", writer)
+            response = self._call("insert_bulk", writer)
             total = response.u64()
         return total
 
@@ -309,7 +326,7 @@ class EncryptedClient:
             record.write_to(writer)
         if self.cache is not None:
             self.cache.invalidate(oid)
-        return self.rpc.call("delete", writer).boolean()
+        return self._call("delete", writer).boolean()
 
     # ------------------------------------------------------------------
     # search phase (Algorithm 2)
@@ -348,7 +365,7 @@ class EncryptedClient:
             else:
                 method = "range"
                 writer = Writer().f64_array(q_dists).f64(radius)
-        reader = self.rpc.call(method, writer)
+        reader = self._call(method, writer)
         hits = self._refine(query, reader, radius=radius)
         hits.sort(key=lambda hit: (hit.distance, hit.oid))
         return hits
@@ -384,7 +401,7 @@ class EncryptedClient:
             writer.i32_array(permutation)
             writer.u32(cand_size)
             writer.u32(max_cells if max_cells is not None else 0)
-        reader = self.rpc.call("approx_knn", writer)
+        reader = self._call("approx_knn", writer)
         hits = self._refine(query, reader, refine_limit=refine_limit)
         hits.sort(key=lambda hit: (hit.distance, hit.oid))
         return hits[:k]
@@ -459,7 +476,7 @@ class EncryptedClient:
             writer.i32_matrix(permutations)
             writer.u32(cand_size)
             writer.u32(max_cells if max_cells is not None else 0)
-        reader = self.rpc.call("knn_batch", writer)
+        reader = self._call("knn_batch", writer)
         results = self._refine_batch(
             query_matrix, reader, refine_limit=refine_limit
         )
@@ -512,7 +529,7 @@ class EncryptedClient:
             else:
                 method = "range_batch"
                 writer = Writer().f64_matrix(distance_matrix).f64(radius)
-        reader = self.rpc.call(method, writer)
+        reader = self._call(method, writer)
         results = self._refine_batch(query_matrix, reader, radius=radius)
         for hits in results:
             hits.sort(key=lambda hit: (hit.distance, hit.oid))
@@ -678,6 +695,14 @@ class EncryptedClient:
         return results
 
     # ------------------------------------------------------------------
+    # liveness
+    # ------------------------------------------------------------------
+
+    def ping(self) -> bool:
+        """Round-trip liveness probe against the server."""
+        return self._call("ping").string() == "pong"
+
+    # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
 
@@ -691,14 +716,23 @@ class EncryptedClient:
             server_time=self.rpc.server_time,
             communication_time=self.rpc.channel.communication_time,
             communication_bytes=self.rpc.channel.bytes_total,
-            extras={
-                "distance_computations": self.space.distance_count,
-                "candidates_received": self.costs.count("candidates_received"),
-                "candidates_refined": self.costs.count("candidates_refined"),
-                CACHE_HITS: self.costs.count(CACHE_HITS),
-                CACHE_MISSES: self.costs.count(CACHE_MISSES),
-            },
+            extras=self._report_extras(),
         )
+
+    def _report_extras(self) -> dict:
+        extras = {
+            "distance_computations": self.space.distance_count,
+            "candidates_received": self.costs.count("candidates_received"),
+            "candidates_refined": self.costs.count("candidates_refined"),
+            CACHE_HITS: self.costs.count(CACHE_HITS),
+            CACHE_MISSES: self.costs.count(CACHE_MISSES),
+        }
+        # a resilient RPC layer surfaces its retry/reconnect work
+        for counter in (RETRIES_ATTEMPTED, RECONNECTS):
+            value = getattr(self.rpc, counter, None)
+            if value is not None:
+                extras[counter] = value
+        return extras
 
     def reset_accounting(self) -> None:
         """Zero client, server-view and channel accounting."""

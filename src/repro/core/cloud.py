@@ -27,7 +27,12 @@ from repro.exceptions import ChannelError
 from repro.metric.distances import Distance
 from repro.metric.space import MetricSpace
 from repro.net.aio import AsyncTcpServer
-from repro.net.channel import InProcessChannel, TcpServer
+from repro.net.channel import Channel, InProcessChannel, TcpServer
+from repro.net.resilience import (
+    CircuitBreaker,
+    ResilientRpcClient,
+    RetryPolicy,
+)
 from repro.net.rpc import RpcClient
 
 __all__ = ["SimilarityCloud"]
@@ -128,21 +133,24 @@ class SimilarityCloud:
 
     # -- channel/client factories -----------------------------------------
 
-    def _new_rpc(self) -> RpcClient:
+    def _new_channel(self) -> Channel:
         if self._tcp_server is not None:
-            return RpcClient(self._tcp_server.connect())
-        channel = InProcessChannel(
+            return self._tcp_server.connect()
+        return InProcessChannel(
             self.server.handle,
             latency=self._latency,
             bandwidth=self._bandwidth,
         )
-        return RpcClient(channel)
+
+    def _new_rpc(self) -> RpcClient:
+        return RpcClient(self._new_channel())
 
     def new_client(
         self,
         secret_key: SecretKey | None = None,
         *,
         cache_size: int = 0,
+        deadline: float | None = None,
     ) -> EncryptedClient:
         """Create an authorized client with its own channel and space.
 
@@ -150,7 +158,8 @@ class SimilarityCloud:
         client); pass an explicit key to model key distribution.
         ``cache_size`` bounds the client's LRU cache of decrypted
         candidates (default 0 = disabled, the paper's stateless
-        protocol).
+        protocol); ``deadline`` applies a per-RPC time budget to every
+        call the client makes.
         """
         key = secret_key if secret_key is not None else self.owner.authorize()
         space = MetricSpace(self._distance, self._dimension)
@@ -160,7 +169,53 @@ class SimilarityCloud:
             self._new_rpc(),
             strategy=self.owner.client.strategy,
             cache_size=cache_size,
+            deadline=deadline,
         )
+
+    def new_resilient_client(
+        self,
+        secret_key: SecretKey | None = None,
+        *,
+        cache_size: int = 0,
+        deadline: float | None = None,
+        policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        key_seed: int | None = None,
+    ) -> EncryptedClient:
+        """Create a client whose RPC layer retries across reconnects.
+
+        The client's :class:`~repro.net.resilience.ResilientRpcClient`
+        reopens a channel through this cloud's transport after every
+        connection loss, retries read-only calls transparently, and
+        tags mutating calls with idempotency keys so the server's dedup
+        cache keeps them exactly-once. ``key_seed`` pins the key
+        sequence for deterministic tests.
+        """
+        key = secret_key if secret_key is not None else self.owner.authorize()
+        space = MetricSpace(self._distance, self._dimension)
+        rpc = ResilientRpcClient(
+            self._new_channel,
+            policy=policy,
+            breaker=breaker,
+            key_seed=key_seed,
+        )
+        return EncryptedClient(
+            key,
+            space,
+            rpc,
+            strategy=self.owner.client.strategy,
+            cache_size=cache_size,
+            deadline=deadline,
+        )
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Gracefully drain the deployment before :meth:`close`.
+
+        Stops accepting new requests, lets in-flight ones finish, and
+        flushes the storage backend — no acknowledged write is lost.
+        Returns whether everything drained within ``timeout``.
+        """
+        return self.server.drain(timeout)
 
     def close(self) -> None:
         """Shut down the TCP server (when one was started) and release

@@ -31,6 +31,11 @@ __all__ = [
     "BLOCK_CACHE_HITS",
     "BLOCK_CACHE_MISSES",
     "CHUNKS_DECOMPRESSED",
+    "RETRIES_ATTEMPTED",
+    "RECONNECTS",
+    "REQUESTS_SHED",
+    "DEADLINE_EXPIRATIONS",
+    "IDEMPOTENT_DEDUP_HITS",
     "CostRecorder",
     "CostReport",
     "CostTimer",
@@ -57,6 +62,20 @@ CACHE_MISSES = "cache_misses"
 BLOCK_CACHE_HITS = "block_cache_hits"
 BLOCK_CACHE_MISSES = "block_cache_misses"
 CHUNKS_DECOMPRESSED = "chunks_decompressed"
+
+#: canonical counter names of the fault-tolerance layer. The client
+#: side (:class:`repro.net.resilience.ResilientRpcClient`) counts every
+#: extra attempt and reconnect it performs; the server side counts
+#: requests it refused (load shedding / draining), requests whose
+#: deadline budget expired before they ran, and mutating requests it
+#: answered from the idempotency cache instead of re-executing. The
+#: chaos suite pins these to exact values: every injected fault must be
+#: visible in exactly one counter.
+RETRIES_ATTEMPTED = "retries_attempted"
+RECONNECTS = "reconnects"
+REQUESTS_SHED = "requests_shed"
+DEADLINE_EXPIRATIONS = "deadline_expirations"
+IDEMPOTENT_DEDUP_HITS = "idempotent_dedup_hits"
 
 
 class CostRecorder:

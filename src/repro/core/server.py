@@ -38,7 +38,13 @@ The server exposes these RPC methods:
     Generic batching (``RpcDispatcher.enable_batch``): many request
     bodies for one inner method, fanned out over a thread pool.
 ``stats``
-    Index statistics (diagnostics; not part of any measured phase).
+    Index statistics (diagnostics; not part of any measured phase),
+    including the fault-tolerance counters (requests shed, deadline
+    expirations, idempotent dedup hits).
+``ping`` / ``healthz``
+    Liveness and health probes: ``ping`` answers ``"pong"``;
+    ``healthz`` reports whether the transport is draining plus the
+    record count.
 
 Concurrency: searches are read-only, so all search handlers take the
 shared side of a :class:`~repro.core.locks.ReadWriteLock` and may run
@@ -112,7 +118,15 @@ class SimilarityCloudServer:
             "range_transformed_batch", self._handle_range_transformed_batch
         )
         self.dispatcher.register("stats", self._handle_stats)
+        self.dispatcher.register("ping", self._handle_ping)
+        self.dispatcher.register("healthz", self._handle_healthz)
         self.dispatcher.enable_batch(max_workers=max_workers)
+        # mutating RPCs carry idempotency keys (see
+        # repro.net.resilience); dedup makes their retries exactly-once
+        self.dispatcher.enable_idempotency()
+        #: the transport serving this endpoint (set by serve_tcp /
+        #: serve_async); healthz and stats read drain/shed state off it
+        self.transport = None
 
     # -- channel plumbing -------------------------------------------------
 
@@ -134,7 +148,8 @@ class SimilarityCloudServer:
         """
         from repro.net.channel import TcpServer
 
-        return TcpServer(self.handle, host=host, port=port, **kwargs)
+        self.transport = TcpServer(self.handle, host=host, port=port, **kwargs)
+        return self.transport
 
     def serve_async(self, *, host: str = "127.0.0.1", port: int = 0, **kwargs):
         """Expose this server over the pipelined asyncio transport.
@@ -150,7 +165,10 @@ class SimilarityCloudServer:
         """
         from repro.net.aio import AsyncTcpServer
 
-        return AsyncTcpServer(self.handle, host=host, port=port, **kwargs)
+        self.transport = AsyncTcpServer(
+            self.handle, host=host, port=port, **kwargs
+        )
+        return self.transport
 
     @property
     def server_time(self) -> float:
@@ -161,6 +179,30 @@ class SimilarityCloudServer:
         """Zero server-side accounting (between experiment phases)."""
         self.dispatcher.reset_accounting()
         self.storage.reset_accounting()
+
+    def flush_storage(self) -> None:
+        """Push buffered storage state to durable form (no-op backends
+        simply return). Called by :meth:`drain` before declaring every
+        acknowledged write safe."""
+        flush = getattr(self.storage, "flush", None)
+        if flush is not None:
+            flush()
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Graceful drain: finish in-flight requests, then flush storage.
+
+        Delegates to the transport's drain when it has one (the
+        pipelined server refuses new requests with a retryable error
+        while existing ones complete), then flushes the storage backend
+        so no acknowledged write is lost on the shutdown that follows.
+        Returns whether the transport drained within ``timeout``.
+        """
+        drained = True
+        transport_drain = getattr(self.transport, "drain", None)
+        if transport_drain is not None:
+            drained = transport_drain(timeout)
+        self.flush_storage()
+        return drained
 
     def close(self) -> None:
         """Release the dispatcher's batch thread pool."""
@@ -285,11 +327,35 @@ class SimilarityCloudServer:
                 value = getattr(storage, counter, None)
                 if value is not None:
                     stats[f"storage_{counter}"] = value
+            # fault-tolerance counters: what the transport refused or
+            # shed, and what the idempotency cache answered for free
+            for counter, source in (
+                ("requests_shed", "shed_requests"),
+                ("deadline_expirations", "deadline_expirations"),
+            ):
+                value = getattr(self.transport, source, None)
+                if value is not None:
+                    stats[counter] = value
+            stats["idempotent_dedup_hits"] = self.dispatcher.dedup_hits
         writer = Writer()
         writer.u32(len(stats))
         for key, value in sorted(stats.items()):
             writer.string(key)
             writer.f64(float(value))
+        return writer
+
+
+    def _handle_ping(self, body: Reader) -> Writer:
+        body.expect_end()
+        return Writer().string("pong")
+
+    def _handle_healthz(self, body: Reader) -> Writer:
+        body.expect_end()
+        draining = bool(getattr(self.transport, "draining", False))
+        writer = Writer()
+        writer.string("draining" if draining else "ok")
+        with self._lock.read():
+            writer.u64(len(self.index))
         return writer
 
 

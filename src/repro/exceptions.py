@@ -78,8 +78,36 @@ class ServerBusyError(ChannelError):
     """The server shed this request because its queue was full.
 
     Raised on the client when the async server's load-shedding limit
-    (``max_pending``) is hit; the request was never dispatched, so the
-    caller may safely retry after backing off.
+    (``max_pending``) is hit or the server is draining for shutdown;
+    the request was never dispatched, so the caller may safely retry
+    after backing off.
+    """
+
+
+class DeadlineExceededError(ChannelError):
+    """A request's per-RPC deadline budget expired before it completed.
+
+    Raised either client-side (no response arrived within the budget)
+    or server-side (the request was still queued when its budget ran
+    out, so the server shed it unexecuted). The budget is spent, so
+    retry layers must *not* retry this error — the caller decides
+    whether a fresh deadline is warranted.
+    """
+
+
+class RetryExhaustedError(ChannelError):
+    """A retried RPC failed on every attempt the policy allowed.
+
+    The last underlying failure is chained as ``__cause__``.
+    """
+
+
+class CircuitOpenError(ChannelError):
+    """The client's circuit breaker is open: calls fail fast.
+
+    Raised without touching the network after the breaker's failure
+    threshold was reached, until its reset timeout elapses and a probe
+    call is allowed through.
     """
 
 

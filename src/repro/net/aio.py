@@ -52,7 +52,12 @@ import threading
 import time
 from typing import Callable
 
-from repro.exceptions import ChannelError, ProtocolError, ServerBusyError
+from repro.exceptions import (
+    ChannelError,
+    DeadlineExceededError,
+    ProtocolError,
+    ServerBusyError,
+)
 from repro.net.channel import Channel
 from repro.net.rpc import RpcServerError, decode_response, encode_request
 from repro.wire.encoding import Reader, Writer
@@ -67,7 +72,9 @@ from repro.wire.frames import (
     FrameAssembler,
     FrameHeader,
     encode_frame,
+    encode_request_frame,
     response_frames,
+    split_deadline,
 )
 
 __all__ = [
@@ -82,6 +89,7 @@ _LEGACY_FRAME = struct.Struct("<I")
 #: error-frame payload codes (first payload byte)
 _ERROR_OVERLOADED = 0
 _ERROR_FAILED = 1
+_ERROR_DEADLINE = 2
 
 
 def _encode_error(code: int, message: str) -> bytes:
@@ -93,7 +101,13 @@ def _decode_error(payload: bytes) -> ChannelError:
     message = payload[1:].decode("utf-8", errors="replace")
     if code == _ERROR_OVERLOADED:
         return ServerBusyError(message)
+    if code == _ERROR_DEADLINE:
+        return DeadlineExceededError(message)
     return ChannelError(f"server-side failure: {message}")
+
+
+class _DeadlineExpired(Exception):
+    """Internal: an executor slot found its request's budget spent."""
 
 
 class _PipelinedConnection:
@@ -147,6 +161,11 @@ class _PipelinedConnection:
     async def flushed(self) -> None:
         """Wait until any deferred writes have drained."""
         await self._flushed.wait()
+
+    @property
+    def flushed_now(self) -> bool:
+        """Whether no deferred writes are queued right now."""
+        return self._flushed.is_set()
 
     def _write(self, frames: tuple[bytes, ...]) -> None:
         try:
@@ -236,11 +255,17 @@ class AsyncTcpServer:
         self._pending = 0
         self._tasks: set[asyncio.Task] = set()
         self._writers: set[asyncio.StreamWriter] = set()
+        self._conns: set[_PipelinedConnection] = set()
+        self._draining = False
         self._sockname: tuple[str, int] | None = None
         #: requests answered (both framings, including failures)
         self.requests_served = 0
-        #: requests refused because ``max_pending`` was reached
+        #: requests refused because ``max_pending`` was reached or the
+        #: server was draining
         self.shed_requests = 0
+        #: requests whose deadline budget expired while queued, shed
+        #: without running their handler
+        self.deadline_expirations = 0
         self._loop: asyncio.AbstractEventLoop | None = asyncio.new_event_loop()
         self._thread = threading.Thread(
             target=self._loop.run_forever, name="aio-server", daemon=True
@@ -320,6 +345,10 @@ class AsyncTcpServer:
         while True:
             if length > MAX_PAYLOAD:
                 return
+            if self._draining:
+                # the legacy framing has no error channel between
+                # messages; dropping the connection is the only signal
+                return
             payload = await reader.readexactly(length)
             response = await self._run_handler(payload)
             writer.write(_LEGACY_FRAME.pack(len(response)) + response)
@@ -336,6 +365,18 @@ class AsyncTcpServer:
         first: bytes,
     ) -> None:
         conn = _PipelinedConnection(self, writer)
+        self._conns.add(conn)
+        try:
+            await self._pipelined_loop(conn, reader, first)
+        finally:
+            self._conns.discard(conn)
+
+    async def _pipelined_loop(
+        self,
+        conn: "_PipelinedConnection",
+        reader: asyncio.StreamReader,
+        first: bytes,
+    ) -> None:
         buffer = bytearray(first)
         while True:
             # greedy framing: one loop resume ingests every complete
@@ -361,6 +402,24 @@ class AsyncTcpServer:
                     f"client sent frame kind {header.kind}, "
                     f"expected a request"
                 )
+            budget, payload = split_deadline(header, payload)
+            if self._draining:
+                # graceful drain: in-flight work finishes, new work is
+                # refused with a retryable error so the client fails
+                # over instead of waiting on a response that never comes
+                self.shed_requests += 1
+                conn.send(
+                    encode_frame(
+                        KIND_ERROR,
+                        header.correlation_id,
+                        _encode_error(
+                            _ERROR_OVERLOADED,
+                            "server draining: no new requests accepted",
+                        ),
+                    )
+                )
+                await conn.flushed()
+                continue
             if self._pending >= self._max_pending:
                 # load shedding: answer immediately instead of queueing
                 self.shed_requests += 1
@@ -384,14 +443,30 @@ class AsyncTcpServer:
             self._pending += 1
             # fast path: no per-request task — the executor future's
             # done-callback runs on the loop and writes the response
+            expires = (
+                None if budget is None else time.monotonic() + budget
+            )
             future = self._loop.run_in_executor(
-                self._executor, self._handler, payload
+                self._executor, self._invoke, payload, expires
             )
             future.add_done_callback(
                 lambda f, cid=header.correlation_id: self._complete(
                     conn, cid, f
                 )
             )
+
+    def _invoke(self, payload: bytes, expires: float | None) -> bytes:
+        """Executor entry point: shed expired work before it runs.
+
+        The deadline check happens the moment an executor slot picks
+        the request up — a request that waited out its budget in the
+        queue never touches the handler (or the server's locks).
+        """
+        if expires is not None and time.monotonic() >= expires:
+            raise _DeadlineExpired(
+                "deadline expired before the request was executed"
+            )
+        return self._handler(payload)
 
     def _complete(
         self,
@@ -405,7 +480,18 @@ class AsyncTcpServer:
                 conn.window.release()
                 return
             exc = future.exception()
-            if exc is not None:  # handler bug: report, keep serving
+            if isinstance(exc, _DeadlineExpired):
+                # shed unexecuted: the budget ran out in the queue
+                self.deadline_expirations += 1
+                conn.send(
+                    encode_frame(
+                        KIND_ERROR,
+                        correlation_id,
+                        _encode_error(_ERROR_DEADLINE, str(exc)),
+                    ),
+                    release=True,
+                )
+            elif exc is not None:  # handler bug: report, keep serving
                 conn.send(
                     encode_frame(
                         KIND_ERROR,
@@ -433,6 +519,52 @@ class AsyncTcpServer:
         )
 
     # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        """Whether :meth:`drain` has begun refusing new requests."""
+        return self._draining
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Graceful drain: stop accepting, finish in-flight, flush.
+
+        Closes the listening socket (no new connections), refuses every
+        request that arrives after this point with a retryable error
+        frame, waits until all dispatched requests have completed *and*
+        their responses have reached the transport, then pushes any
+        transport-buffered bytes out. Existing connections stay open so
+        clients receive those final responses; call :meth:`shutdown`
+        afterwards to close them.
+
+        Returns ``True`` when everything in flight drained within
+        ``timeout`` seconds, ``False`` if the wait timed out (pending
+        work may still complete afterwards; acknowledged responses are
+        never retracted either way).
+        """
+        if self._loop is None:
+            return True
+        return asyncio.run_coroutine_threadsafe(
+            self._drain(timeout), self._loop
+        ).result(timeout + 30)
+
+    async def _drain(self, timeout: float) -> bool:
+        self._draining = True
+        self._server.close()
+        await self._server.wait_closed()
+        deadline = self._loop.time() + timeout
+        while self._loop.time() < deadline:
+            busy = self._pending > 0 or any(
+                not conn.flushed_now for conn in self._conns
+            )
+            if not busy:
+                for writer in list(self._writers):
+                    try:
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        pass  # that client is gone; nothing to flush
+                return True
+            await asyncio.sleep(0.005)
+        return False
 
     def shutdown(self) -> None:
         """Stop serving, close connections, release the executor."""
@@ -510,12 +642,21 @@ class AsyncTcpChannel:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         return cls(reader, writer)
 
-    async def request(self, data: bytes) -> bytes:
-        """Send one request, await its (possibly out-of-order) response."""
-        payload, _ = await self._request(data)
+    async def request(
+        self, data: bytes, *, deadline: float | None = None
+    ) -> bytes:
+        """Send one request, await its (possibly out-of-order) response.
+
+        ``deadline`` seconds of budget travel with the frame (the
+        server sheds the request unexecuted once it expires) and bound
+        the local wait: :class:`DeadlineExceededError` either way.
+        """
+        payload, _ = await self._request(data, deadline=deadline)
         return payload
 
-    async def _request(self, data: bytes) -> tuple[bytes, int]:
+    async def _request(
+        self, data: bytes, deadline: float | None = None
+    ) -> tuple[bytes, int]:
         """Like :meth:`request`, also returning the response wire bytes."""
         if self._closed:
             raise ChannelError("channel is closed")
@@ -528,13 +669,20 @@ class AsyncTcpChannel:
         future = asyncio.get_running_loop().create_future()
         self._pending[correlation_id] = future
         self._received[correlation_id] = 0
-        frame = encode_frame(KIND_REQUEST, correlation_id, data)
+        frame = encode_request_frame(correlation_id, data, deadline=deadline)
         try:
             self._writer.write(frame)
             self.bytes_sent += len(frame)
             self.requests += 1
             await self._writer.drain()  # client-side backpressure
-            return await future
+            if deadline is None:
+                return await future
+            try:
+                return await asyncio.wait_for(future, deadline)
+            except asyncio.TimeoutError as exc:
+                raise DeadlineExceededError(
+                    f"no response within the {deadline}s deadline"
+                ) from exc
         except (ConnectionError, OSError) as exc:
             raise ChannelError(f"pipelined send failed: {exc}") from exc
         finally:
@@ -579,6 +727,12 @@ class AsyncTcpChannel:
         except asyncio.CancelledError:
             self._fail_all(ChannelError("channel closed"))
             raise
+        except Exception as exc:  # reader must never die silently
+            self._fail_all(
+                ChannelError(
+                    f"reader task died: {type(exc).__name__}: {exc}"
+                )
+            )
 
     def _fail_all(self, error: ChannelError) -> None:
         self._closed = True
@@ -676,12 +830,13 @@ class PipelinedTcpChannel(Channel):
         self._received: dict[int, int] = {}
         self._assembler = FrameAssembler()
         self._closed = False
+        self._death: ChannelError | None = None
         self._reader = threading.Thread(
             target=self._read_loop, name="pipelined-reader", daemon=True
         )
         self._reader.start()
 
-    def request(self, data: bytes) -> bytes:
+    def request(self, data: bytes, *, deadline: float | None = None) -> bytes:
         if len(data) > MAX_PAYLOAD:
             raise ChannelError(
                 f"request of {len(data)} bytes exceeds the "
@@ -691,11 +846,21 @@ class PipelinedTcpChannel(Channel):
         future: concurrent.futures.Future = concurrent.futures.Future()
         with self._lock:
             if self._closed:
+                # auto-reject: a dead connection fails fast with the
+                # reason the reader died instead of hanging callers
+                if self._death is not None:
+                    raise ChannelError(
+                        f"channel is dead: {self._death}"
+                    ) from self._death
                 raise ChannelError("channel is closed")
             correlation_id = next(self._cids)
             self._pending[correlation_id] = future
             self._received[correlation_id] = 0
-        frame = encode_frame(KIND_REQUEST, correlation_id, data)
+        frame = encode_request_frame(correlation_id, data, deadline=deadline)
+        wait = (
+            self._timeout if deadline is None
+            else min(self._timeout, deadline)
+        )
         try:
             try:
                 with self._send_lock:
@@ -703,8 +868,12 @@ class PipelinedTcpChannel(Channel):
             except OSError as exc:
                 raise ChannelError(f"pipelined send failed: {exc}") from exc
             try:
-                payload, received = future.result(self._timeout)
+                payload, received = future.result(wait)
             except concurrent.futures.TimeoutError as exc:
+                if deadline is not None and deadline <= self._timeout:
+                    raise DeadlineExceededError(
+                        f"no response within the {deadline}s deadline"
+                    ) from exc
                 raise ChannelError(
                     f"request timed out after {self._timeout}s"
                 ) from exc
@@ -744,6 +913,14 @@ class PipelinedTcpChannel(Channel):
             self._fail_all(ChannelError(f"connection lost: {exc}"))
         except ProtocolError as exc:
             self._fail_all(ChannelError(f"protocol violation: {exc}"))
+        except BaseException as exc:  # the reader must never die silently:
+            # any unexpected failure still fails every outstanding
+            # future with a typed error instead of leaving them to hang
+            self._fail_all(
+                ChannelError(
+                    f"reader thread died: {type(exc).__name__}: {exc}"
+                )
+            )
 
     def _dispatch(self, header: FrameHeader, payload: bytes) -> None:
         with self._lock:
@@ -771,6 +948,8 @@ class PipelinedTcpChannel(Channel):
     def _fail_all(self, error: ChannelError) -> None:
         with self._lock:
             self._closed = True
+            if self._death is None:
+                self._death = error
             pending, self._pending = dict(self._pending), {}
             self._received.clear()
         for future in pending.values():

@@ -22,7 +22,7 @@ import struct
 import threading
 from typing import Callable
 
-from repro.exceptions import ChannelError
+from repro.exceptions import ChannelError, DeadlineExceededError
 from repro.net.clock import Clock, SimulatedClock, WallClock
 
 __all__ = ["Channel", "InProcessChannel", "TcpChannel", "TcpServer"]
@@ -40,8 +40,16 @@ class Channel:
         self.communication_time = 0.0
         self.requests = 0
 
-    def request(self, data: bytes) -> bytes:
-        """Send ``data``, return the server's response bytes."""
+    def request(self, data: bytes, *, deadline: float | None = None) -> bytes:
+        """Send ``data``, return the server's response bytes.
+
+        ``deadline`` is an optional per-request time budget in seconds.
+        Transports that support it raise
+        :class:`~repro.exceptions.DeadlineExceededError` once the
+        budget expires (and, on the pipelined framing, ship the budget
+        to the server so expired work is shed before it runs); the
+        in-process channel executes synchronously and ignores it.
+        """
         raise NotImplementedError
 
     def reset_accounting(self) -> None:
@@ -98,7 +106,7 @@ class InProcessChannel(Channel):
             cost += n_bytes / float(self._bandwidth)
         return cost
 
-    def request(self, data: bytes) -> bytes:
+    def request(self, data: bytes, *, deadline: float | None = None) -> bytes:
         send_cost = self._transfer_cost(len(data))
         self._advance(send_cost)
         response = self._handler(data)
@@ -129,6 +137,7 @@ class TcpChannel(Channel):
     ) -> None:
         super().__init__()
         self._clock = WallClock()
+        self._timeout = timeout
         try:
             self._sock = socket.create_connection((host, port), timeout=timeout)
             self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -136,13 +145,29 @@ class TcpChannel(Channel):
             raise ChannelError(f"cannot connect to {host}:{port}: {exc}") from exc
         self._last_round_trip = 0.0
 
-    def request(self, data: bytes) -> bytes:
+    def request(self, data: bytes, *, deadline: float | None = None) -> bytes:
         start = self._clock.now()
+        # the legacy framing has no header to carry the budget to the
+        # server, so a deadline is enforced client-side only: the
+        # socket timeout shrinks to the budget for this one request
+        if deadline is not None:
+            self._sock.settimeout(min(self._timeout, deadline))
         try:
             self._sock.sendall(_FRAME.pack(len(data)) + data)
             response = _recv_frame(self._sock)
         except OSError as exc:
             raise ChannelError(f"TCP transfer failed: {exc}") from exc
+        except ChannelError as exc:
+            if deadline is not None and isinstance(
+                exc.__cause__, TimeoutError
+            ):
+                raise DeadlineExceededError(
+                    f"no response within the {deadline}s deadline"
+                ) from exc
+            raise
+        finally:
+            if deadline is not None:
+                self._sock.settimeout(self._timeout)
         elapsed = self._clock.now() - start
         self._last_round_trip = elapsed
         self.bytes_sent += len(data) + _FRAME.size

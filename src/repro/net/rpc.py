@@ -1,11 +1,23 @@
 """Minimal RPC layer over a :class:`~repro.net.channel.Channel`.
 
-Request envelope:  ``string method | blob body``
+Request envelope:  ``string method | blob body [| u64 idempotency_key]``
 Response envelope: ``u8 status | f64 server_time | blob body-or-error``
 
 ``server_time`` is the handler's processing time measured by the
 dispatcher; the client uses it to split round-trip time into the
 "server time" and "communication time" rows of the paper's tables.
+
+The trailing **idempotency key** is optional (the envelope without it
+is bit-identical to the original format). A mutating RPC that may be
+retried — the connection died after the request was sent, so the
+client cannot know whether the server executed it — carries a key
+unique to that *logical* call; every resend reuses it. A dispatcher
+with :meth:`RpcDispatcher.enable_idempotency` remembers the response
+bytes of each keyed call in a bounded LRU and replays them for a
+duplicate key instead of re-executing the handler, so a retried
+``insert_bulk`` can never double-insert. Keys are client-unique u64
+values drawn from the same numbering machinery as the framing layer's
+correlation ids (see :class:`repro.net.resilience.ResilientRpcClient`).
 
 The layer also provides a generic **batched** call: a dispatcher with
 :meth:`RpcDispatcher.enable_batch` exposes a ``search_batch`` method
@@ -20,7 +32,8 @@ server's read–write lock themselves (see
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable
 
 from repro.exceptions import ProtocolError, ReproError
@@ -35,16 +48,30 @@ __all__ = [
     "RpcServerError",
     "encode_request",
     "decode_response",
+    "encode_batch_request",
+    "decode_batch_response",
 ]
 
 _STATUS_OK = 0
 _STATUS_ERROR = 1
 
 
-def encode_request(method: str, body: Writer | bytes = b"") -> bytes:
-    """Encode one request envelope (shared by the sync and async clients)."""
+def encode_request(
+    method: str,
+    body: Writer | bytes = b"",
+    *,
+    idempotency_key: int | None = None,
+) -> bytes:
+    """Encode one request envelope (shared by the sync and async clients).
+
+    Without ``idempotency_key`` the encoding is bit-identical to the
+    pre-resilience envelope, so unmodified peers interoperate.
+    """
     payload = body.getvalue() if isinstance(body, Writer) else bytes(body)
-    return Writer().string(method).blob(payload).getvalue()
+    writer = Writer().string(method).blob(payload)
+    if idempotency_key is not None:
+        writer.u64(idempotency_key)
+    return writer.getvalue()
 
 
 def decode_response(raw: bytes) -> tuple[float, Reader]:
@@ -77,6 +104,33 @@ class RpcServerError(ProtocolError):
 #: wire name of the generic batched call
 BATCH_METHOD = "search_batch"
 
+
+def encode_batch_request(
+    method: str, bodies: list[Writer | bytes]
+) -> Writer:
+    """Body of one ``search_batch`` envelope carrying ``bodies``."""
+    writer = Writer()
+    writer.string(method)
+    writer.u32(len(bodies))
+    for body in bodies:
+        writer.blob(
+            body.getvalue() if isinstance(body, Writer) else bytes(body)
+        )
+    return writer
+
+
+def decode_batch_response(reader: Reader, expected: int) -> list[Reader]:
+    """Per-body response Readers of a ``search_batch`` reply."""
+    count = reader.u32()
+    if count != expected:
+        raise ProtocolError(
+            f"batch response carries {count} results for "
+            f"{expected} requests"
+        )
+    readers = [Reader(reader.blob()) for _ in range(count)]
+    reader.expect_end()
+    return readers
+
 Handler = Callable[[Reader], Writer]
 
 
@@ -97,6 +151,12 @@ class RpcDispatcher:
         self._clock: Clock = clock or WallClock()
         self._accounting = threading.Lock()
         self._pool: ThreadPoolExecutor | None = None
+        self._idempotency: OrderedDict[int, bytes | Future] | None = None
+        self._idempotency_capacity = 0
+        self._idempotency_lock = threading.Lock()
+        #: keyed requests answered from the idempotency cache instead
+        #: of re-executing their handler
+        self.dedup_hits = 0
         self.server_time = 0.0
         self.calls = 0
 
@@ -128,6 +188,26 @@ class RpcDispatcher:
         )
         self.register(BATCH_METHOD, self._handle_batch)
 
+    def enable_idempotency(self, *, capacity: int = 4096) -> None:
+        """Deduplicate keyed requests in a bounded LRU of responses.
+
+        A request envelope carrying an idempotency key executes at most
+        once per key while the key stays in the cache: duplicates get
+        the original call's exact response bytes back (counted in
+        :attr:`dedup_hits`). A duplicate that arrives while the
+        original is *still executing* blocks until it finishes and then
+        receives the same response — the window where a retried
+        mutation could otherwise run twice. Keyless requests are
+        untouched.
+        """
+        if capacity <= 0:
+            raise ProtocolError(
+                f"idempotency capacity must be positive, got {capacity}"
+            )
+        with self._idempotency_lock:
+            self._idempotency = OrderedDict()
+            self._idempotency_capacity = capacity
+
     def _handle_batch(self, body: Reader) -> Writer:
         if self._pool is None:
             raise ProtocolError("batch thread pool is closed")
@@ -155,17 +235,72 @@ class RpcDispatcher:
         A malformed envelope (truncated frame, bad UTF-8 method name)
         yields an error *response* rather than an exception — a remote
         peer must never be able to crash the server loop with garbage.
+        Envelopes with an idempotency key go through the dedup cache
+        when :meth:`enable_idempotency` was called.
         """
         try:
             reader = Reader(request)
             method = reader.string()
             body = Reader(reader.blob())
+            key = reader.u64() if reader.remaining() else None
+            reader.expect_end()
         except ProtocolError as exc:
             response = Writer()
             response.u8(_STATUS_ERROR).f64(0.0).string(
                 f"malformed request envelope: {exc}"
             )
             return response.getvalue()
+        if key is None or self._idempotency is None:
+            return self._execute(method, body)
+        return self._execute_idempotent(key, method, body)
+
+    def _execute_idempotent(
+        self, key: int, method: str, body: Reader
+    ) -> bytes:
+        """Run a keyed request at most once; replay its response after.
+
+        The first arrival of a key installs an in-progress marker, so a
+        duplicate that races the original blocks until the original's
+        response exists instead of executing the handler a second time.
+        """
+        assert self._idempotency is not None
+        placeholder: Future[bytes] = Future()
+        with self._idempotency_lock:
+            entry = self._idempotency.get(key)
+            if entry is None:
+                self._idempotency[key] = placeholder
+            else:
+                self._idempotency.move_to_end(key)
+                self.dedup_hits += 1
+        if entry is not None:
+            return entry.result() if isinstance(entry, Future) else entry
+        try:
+            response = self._execute(method, body)
+        except BaseException as exc:
+            # a non-ReproError is a server bug and propagates; drop the
+            # marker so a retry is not wedged on a never-set future
+            with self._idempotency_lock:
+                if self._idempotency.get(key) is placeholder:
+                    del self._idempotency[key]
+            placeholder.set_exception(exc)
+            raise
+        with self._idempotency_lock:
+            self._idempotency[key] = response
+            self._idempotency.move_to_end(key)
+            excess = len(self._idempotency) - self._idempotency_capacity
+            if excess > 0:
+                for old in list(self._idempotency):
+                    if excess <= 0:
+                        break
+                    if isinstance(self._idempotency[old], Future):
+                        continue  # never evict an in-progress call
+                    del self._idempotency[old]
+                    excess -= 1
+        placeholder.set_result(response)
+        return response
+
+    def _execute(self, method: str, body: Reader) -> bytes:
+        """Dispatch one decoded request to its handler."""
         handler = self._handlers.get(method)
         response = Writer()
         if handler is None:
@@ -198,6 +333,8 @@ class RpcDispatcher:
         with self._accounting:
             self.server_time = 0.0
             self.calls = 0
+        with self._idempotency_lock:
+            self.dedup_hits = 0
 
     def close(self) -> None:
         """Release the batch thread pool (no-op without enable_batch).
@@ -222,10 +359,28 @@ class RpcClient:
         self.server_time = 0.0
         self.calls = 0
 
-    def call(self, method: str, body: Writer | bytes = b"") -> Reader:
+    def call(
+        self,
+        method: str,
+        body: Writer | bytes = b"",
+        *,
+        deadline: float | None = None,
+        idempotency_key: int | None = None,
+    ) -> Reader:
         """Invoke ``method`` with ``body``; returns a Reader on the
-        response body. Server-side errors raise :class:`ProtocolError`."""
-        raw = self.channel.request(encode_request(method, body))
+        response body. Server-side errors raise :class:`ProtocolError`.
+
+        ``deadline`` is a per-RPC time budget in seconds, threaded into
+        the channel (transports that support it propagate the budget to
+        the server, which sheds the request unexecuted once it
+        expires). ``idempotency_key`` marks the call safe to
+        deduplicate server-side (see :func:`encode_request`).
+        """
+        encoded = encode_request(method, body, idempotency_key=idempotency_key)
+        if deadline is None:
+            raw = self.channel.request(encoded)
+        else:
+            raw = self.channel.request(encoded, deadline=deadline)
         try:
             server_time, reader = decode_response(raw)
         except RpcServerError as exc:
@@ -241,7 +396,11 @@ class RpcClient:
             self.channel.note_server_time(server_time)
 
     def call_batch(
-        self, method: str, bodies: list[Writer | bytes]
+        self,
+        method: str,
+        bodies: list[Writer | bytes],
+        *,
+        deadline: float | None = None,
     ) -> list[Reader]:
         """Invoke ``method`` once per body in a single ``search_batch``
         round trip; returns one response Reader per body, in order.
@@ -249,23 +408,11 @@ class RpcClient:
         Requires the server dispatcher to have batching enabled
         (:meth:`RpcDispatcher.enable_batch`).
         """
-        writer = Writer()
-        writer.string(method)
-        writer.u32(len(bodies))
-        for body in bodies:
-            writer.blob(
-                body.getvalue() if isinstance(body, Writer) else bytes(body)
-            )
-        reader = self.call(BATCH_METHOD, writer)
-        count = reader.u32()
-        if count != len(bodies):
-            raise ProtocolError(
-                f"batch response carries {count} results for "
-                f"{len(bodies)} requests"
-            )
-        readers = [Reader(reader.blob()) for _ in range(count)]
-        reader.expect_end()
-        return readers
+        reader = self.call(
+            BATCH_METHOD, encode_batch_request(method, bodies),
+            deadline=deadline,
+        )
+        return decode_batch_response(reader, len(bodies))
 
     def reset_accounting(self) -> None:
         """Zero the client's view of server time and the channel counters."""

@@ -311,6 +311,15 @@ class DiskStorage:
         with self._lock:
             return sum(entry.count for entry in self._catalog.values())
 
+    def flush(self) -> None:
+        """Recommit the manifest — the durability point of this backend.
+
+        Every write path already commits before acknowledging, so this
+        exists for the graceful-drain protocol: after a drain the
+        on-disk manifest provably reflects every acknowledged write.
+        """
+        self._commit_manifest()
+
     def reset_accounting(self) -> None:
         """Zero the I/O, cache and manifest counters."""
         with self._lock:

@@ -108,6 +108,13 @@ class MemoryStorage:
         """Total number of stored records."""
         return sum(len(records) for records in self._cells.values())
 
+    def flush(self) -> None:
+        """Push buffered state to durable form — nothing to do in RAM.
+
+        Part of the storage interface so a graceful drain can flush any
+        backend without knowing its type.
+        """
+
     def reset_accounting(self) -> None:
         """Zero the I/O counters."""
         self.bytes_written = 0

@@ -41,9 +41,12 @@ __all__ = [
     "KIND_RESPONSE",
     "KIND_ERROR",
     "FLAG_LAST",
+    "FLAG_DEADLINE",
     "FrameHeader",
     "FrameAssembler",
     "encode_frame",
+    "encode_request_frame",
+    "split_deadline",
     "response_frames",
 ]
 
@@ -69,7 +72,15 @@ _KINDS = (KIND_REQUEST, KIND_RESPONSE, KIND_ERROR)
 #: and on the last chunk of a streamed response)
 FLAG_LAST = 0x01
 
-_KNOWN_FLAGS = FLAG_LAST
+#: request carries a deadline: the first 8 payload bytes are a
+#: little-endian float64 time *budget* in seconds (relative, so client
+#: and server clocks never need to agree); the RPC body follows. The
+#: server sheds the request unexecuted once the budget expires.
+FLAG_DEADLINE = 0x02
+
+_KNOWN_FLAGS = FLAG_LAST | FLAG_DEADLINE
+
+_DEADLINE = struct.Struct("<d")
 
 
 @dataclass(frozen=True)
@@ -138,6 +149,57 @@ def encode_frame(
     """One complete frame: validated header followed by ``payload``."""
     header = FrameHeader(kind, flags, correlation_id, len(payload))
     return header.encode() + payload
+
+
+def encode_request_frame(
+    correlation_id: int, payload: bytes, *, deadline: float | None = None
+) -> bytes:
+    """One request frame, optionally carrying a deadline budget.
+
+    ``deadline`` is the remaining time budget in seconds; it travels as
+    the first 8 payload bytes under :data:`FLAG_DEADLINE`. ``None``
+    yields a plain request frame, bit-identical to the pre-deadline
+    wire format.
+    """
+    if deadline is None:
+        return encode_frame(KIND_REQUEST, correlation_id, payload)
+    if not deadline > 0 or deadline != deadline or deadline == float("inf"):
+        raise ProtocolError(
+            f"deadline budget must be a positive finite number of "
+            f"seconds, got {deadline}"
+        )
+    return encode_frame(
+        KIND_REQUEST,
+        correlation_id,
+        _DEADLINE.pack(deadline) + payload,
+        flags=FLAG_LAST | FLAG_DEADLINE,
+    )
+
+
+def split_deadline(
+    header: FrameHeader, payload: bytes
+) -> tuple[float | None, bytes]:
+    """Separate a request frame's deadline budget from its RPC body.
+
+    Returns ``(budget_seconds, body)``; the budget is ``None`` when the
+    frame carries no :data:`FLAG_DEADLINE`. A flagged frame too short
+    to hold the budget, or one carrying a non-positive or non-finite
+    budget, is a protocol violation.
+    """
+    if not header.flags & FLAG_DEADLINE:
+        return None, payload
+    if len(payload) < _DEADLINE.size:
+        raise ProtocolError(
+            f"deadline-flagged frame of {len(payload)} bytes cannot "
+            f"hold an {_DEADLINE.size}-byte budget"
+        )
+    (budget,) = _DEADLINE.unpack_from(payload)
+    if not budget > 0 or budget != budget or budget == float("inf"):
+        raise ProtocolError(
+            f"deadline budget must be a positive finite number of "
+            f"seconds, got {budget}"
+        )
+    return budget, payload[_DEADLINE.size :]
 
 
 def response_frames(

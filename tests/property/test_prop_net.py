@@ -107,8 +107,10 @@ class TestHeaderRejection:
             FrameHeader.decode(data)
 
     @settings(max_examples=50, deadline=None)
-    @given(flag=st.integers(min_value=2, max_value=255), cid=correlation_ids)
+    @given(flag=st.integers(min_value=4, max_value=255), cid=correlation_ids)
     def test_unknown_flags_rejected(self, flag, cid):
+        # 0x01 (LAST) and 0x02 (DEADLINE) are known; any value >= 4
+        # carries at least one undefined bit and must be rejected
         data = struct.pack("<IBBQI", FRAME_MAGIC, KIND_REQUEST, flag, cid, 0)
         with pytest.raises(ProtocolError):
             FrameHeader.decode(data)

@@ -1,0 +1,82 @@
+"""Property-based tests for the retry backoff schedule.
+
+:class:`~repro.net.resilience.RetryPolicy` promises three properties
+the chaos harness and the resilient client lean on:
+
+* **deterministic** — equal policies produce equal schedules (seeded
+  jitter, no global RNG state),
+* **monotone** — ``delay(i + 1) >= delay(i)``,
+* **capped** — ``delay(i) <= max_delay * (1 + jitter)``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.resilience import RetryPolicy
+
+policies = st.builds(
+    RetryPolicy,
+    max_attempts=st.integers(min_value=1, max_value=12),
+    base_delay=st.floats(min_value=0.0, max_value=0.25),
+    multiplier=st.floats(min_value=1.0, max_value=8.0),
+    max_delay=st.floats(min_value=0.25, max_value=4.0),
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+
+
+class TestBackoffProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(policy=policies, count=st.integers(min_value=0, max_value=24))
+    def test_deterministic(self, policy, count):
+        clone = RetryPolicy(
+            max_attempts=policy.max_attempts,
+            base_delay=policy.base_delay,
+            multiplier=policy.multiplier,
+            max_delay=policy.max_delay,
+            jitter=policy.jitter,
+            seed=policy.seed,
+        )
+        assert policy.schedule(count) == clone.schedule(count)
+        assert policy.schedule(count) == policy.schedule(count)
+
+    @settings(max_examples=200, deadline=None)
+    @given(policy=policies, count=st.integers(min_value=2, max_value=24))
+    def test_monotone(self, policy, count):
+        schedule = policy.schedule(count)
+        assert all(b >= a for a, b in zip(schedule, schedule[1:]))
+
+    @settings(max_examples=200, deadline=None)
+    @given(policy=policies, count=st.integers(min_value=1, max_value=24))
+    def test_capped_and_non_negative(self, policy, count):
+        cap = policy.max_delay * (1.0 + policy.jitter)
+        for delay in policy.schedule(count):
+            assert 0.0 <= delay <= cap
+
+    @settings(max_examples=100, deadline=None)
+    @given(policy=policies, index=st.integers(min_value=0, max_value=23))
+    def test_delay_matches_schedule(self, policy, index):
+        # delay(i) is exactly schedule()[i]: the incremental and the
+        # bulk views of the same backoff curve agree
+        assert policy.delay(index) == policy.schedule(index + 1)[index]
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        policy=policies,
+        seed_delta=st.integers(min_value=1, max_value=100),
+    )
+    def test_jitter_depends_only_on_seed_and_index(self, policy, seed_delta):
+        # changing the seed may change the schedule but never violates
+        # the cap or monotonicity
+        other = RetryPolicy(
+            max_attempts=policy.max_attempts,
+            base_delay=policy.base_delay,
+            multiplier=policy.multiplier,
+            max_delay=policy.max_delay,
+            jitter=policy.jitter,
+            seed=policy.seed + seed_delta,
+        )
+        schedule = other.schedule(12)
+        cap = other.max_delay * (1.0 + other.jitter)
+        assert all(0.0 <= d <= cap for d in schedule)
+        assert all(b >= a for a, b in zip(schedule, schedule[1:]))

@@ -8,7 +8,12 @@ import time
 
 import pytest
 
-from repro.exceptions import ChannelError, ProtocolError, ServerBusyError
+from repro.exceptions import (
+    ChannelError,
+    DeadlineExceededError,
+    ProtocolError,
+    ServerBusyError,
+)
 from repro.net.aio import (
     AsyncRpcClient,
     AsyncTcpChannel,
@@ -18,7 +23,12 @@ from repro.net.aio import (
 from repro.net.channel import TcpChannel
 from repro.net.rpc import RpcDispatcher
 from repro.wire.encoding import Writer
-from repro.wire.frames import FRAME_MAGIC, KIND_REQUEST, encode_frame
+from repro.wire.frames import (
+    FRAME_MAGIC,
+    KIND_REQUEST,
+    encode_frame,
+    encode_request_frame,
+)
 
 
 def run(coroutine):
@@ -325,3 +335,189 @@ class TestAsyncRpcClient:
                 await channel.close()
 
             run(scenario())
+
+
+class TestDeadlines:
+    def test_deadline_met_is_invisible(self):
+        with AsyncTcpServer(lambda data: b"ok:" + data) as server:
+            with server.connect() as channel:
+                assert channel.request(b"x", deadline=30.0) == b"ok:x"
+        assert server.deadline_expirations == 0
+
+    def test_expired_budget_sheds_before_handler_runs(self):
+        ran = []
+        gate = threading.Event()
+
+        def handler(data):
+            if data == b"slow":
+                gate.wait(5)
+            ran.append(data)
+            return data
+
+        # one worker: the slow request occupies it, so the deadlined
+        # request waits out its tiny budget in the queue
+        with AsyncTcpServer(handler, max_workers=1) as server:
+            with server.connect() as channel:
+                results = []
+
+                def slow():
+                    results.append(channel.request(b"slow"))
+
+                thread = threading.Thread(target=slow)
+                thread.start()
+                time.sleep(0.1)
+                with pytest.raises(DeadlineExceededError):
+                    channel.request(b"fast", deadline=0.05)
+                gate.set()
+                thread.join(5)
+                assert results == [b"slow"]
+            assert server.deadline_expirations == 1
+        assert b"fast" not in ran
+
+    def test_local_wait_bounded_by_deadline(self):
+        gate = threading.Event()
+        with AsyncTcpServer(lambda data: (gate.wait(5), data)[1]) as server:
+            with server.connect() as channel:
+                start = time.perf_counter()
+                with pytest.raises(DeadlineExceededError):
+                    channel.request(b"x", deadline=0.2)
+                assert time.perf_counter() - start < 2.0
+                gate.set()
+
+    def test_async_channel_deadline(self):
+        gate = threading.Event()
+        with AsyncTcpServer(lambda data: (gate.wait(5), data)[1]) as server:
+
+            async def scenario():
+                channel = await AsyncTcpChannel.open(server.host, server.port)
+                try:
+                    with pytest.raises(DeadlineExceededError):
+                        await channel.request(b"x", deadline=0.2)
+                finally:
+                    await channel.close()
+
+            run(scenario())
+            gate.set()
+
+    def test_deadline_frame_is_backward_compatible(self):
+        # a deadline-free request must be bit-identical to the
+        # pre-deadline wire format
+        plain = encode_frame(KIND_REQUEST, 7, b"abc")
+        assert encode_request_frame(7, b"abc") == plain
+        assert encode_request_frame(7, b"abc", deadline=1.0) != plain
+
+
+class TestGracefulDrain:
+    def test_drain_refuses_new_requests(self):
+        with AsyncTcpServer(lambda data: data) as server:
+            with server.connect() as channel:
+                assert channel.request(b"before") == b"before"
+                assert server.drain(timeout=5)
+                assert server.draining
+                with pytest.raises(ServerBusyError, match="draining"):
+                    channel.request(b"after")
+            assert server.shed_requests == 1
+
+    def test_drain_finishes_inflight_work(self):
+        gate = threading.Event()
+
+        def handler(data):
+            gate.wait(5)
+            return b"done:" + data
+
+        with AsyncTcpServer(handler) as server:
+            with server.connect() as channel:
+                results = []
+
+                def worker():
+                    results.append(channel.request(b"w"))
+
+                thread = threading.Thread(target=worker)
+                thread.start()
+                time.sleep(0.1)
+
+                drained = []
+                drainer = threading.Thread(
+                    target=lambda: drained.append(server.drain(timeout=5))
+                )
+                drainer.start()
+                time.sleep(0.1)
+                gate.set()
+                drainer.join(10)
+                thread.join(10)
+                # the in-flight request completed and was acknowledged
+                assert results == [b"done:w"]
+                assert drained == [True]
+
+    def test_drain_timeout_returns_false(self):
+        gate = threading.Event()
+        with AsyncTcpServer(lambda data: (gate.wait(10), data)[1]) as server:
+            with server.connect() as channel:
+                thread = threading.Thread(
+                    target=lambda: channel.request(b"x")
+                )
+                thread.start()
+                time.sleep(0.1)
+                assert server.drain(timeout=0.2) is False
+                gate.set()
+                thread.join(10)
+
+    def test_drain_closes_listener(self):
+        with AsyncTcpServer(lambda data: data) as server:
+            assert server.drain(timeout=5)
+            with pytest.raises(ChannelError):
+                PipelinedTcpChannel(server.host, server.port, timeout=0.5)
+
+
+class TestReaderDeath:
+    def test_dead_reader_fails_outstanding_and_new_requests(self):
+        gate = threading.Event()
+        with AsyncTcpServer(lambda data: (gate.wait(5), data)[1]) as server:
+            channel = server.connect()
+            try:
+                # wedge a request in flight, then kill the socket from
+                # under the reader thread
+                thread_errors = []
+
+                def worker():
+                    try:
+                        channel.request(b"x")
+                    except ChannelError as exc:
+                        thread_errors.append(exc)
+
+                thread = threading.Thread(target=worker)
+                thread.start()
+                time.sleep(0.1)
+                channel._sock.shutdown(socket.SHUT_RDWR)
+                thread.join(5)
+                gate.set()
+                # the outstanding request failed with a typed error...
+                assert len(thread_errors) == 1
+                assert not isinstance(
+                    thread_errors[0], DeadlineExceededError
+                )
+                # ...and new sends are auto-rejected with the reason
+                with pytest.raises(ChannelError, match="dead"):
+                    channel.request(b"y")
+            finally:
+                channel.close()
+
+    def test_reader_crash_fails_all_not_hangs(self):
+        # force an unexpected (non-IO) exception inside the reader loop
+        # and verify every blocked caller gets a typed error
+        with AsyncTcpServer(lambda data: data) as server:
+            channel = server.connect()
+            try:
+                original = channel._dispatch
+
+                def exploding(header, payload):
+                    raise RuntimeError("synthetic reader bug")
+
+                channel._dispatch = exploding
+                with pytest.raises(ChannelError, match="reader thread died"):
+                    channel.request(b"x", deadline=5.0)
+                channel._dispatch = original
+                with pytest.raises(ChannelError, match="dead"):
+                    channel.request(b"y")
+            finally:
+                channel.close()

@@ -1,0 +1,362 @@
+"""Unit tests for repro.net.resilience (retry policy, breaker, client)."""
+
+import threading
+
+import pytest
+
+from repro.exceptions import (
+    ChannelError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    ProtocolError,
+    RetryExhaustedError,
+    ServerBusyError,
+)
+from repro.net.channel import Channel
+from repro.net.clock import SimulatedClock
+from repro.net.resilience import (
+    MUTATING_METHODS,
+    READ_ONLY_METHODS,
+    CircuitBreaker,
+    ResilientRpcClient,
+    RetryPolicy,
+)
+from repro.net.rpc import RpcDispatcher, RpcServerError, encode_request
+from repro.wire.encoding import Reader, Writer
+
+
+class TestRetryPolicy:
+    def test_deterministic_schedule(self):
+        a = RetryPolicy(max_attempts=6, seed=3)
+        b = RetryPolicy(max_attempts=6, seed=3)
+        assert a.schedule() == b.schedule()
+        assert a.delay(2) == b.delay(2)
+
+    def test_different_seeds_differ(self):
+        a = RetryPolicy(max_attempts=8, seed=0).schedule()
+        b = RetryPolicy(max_attempts=8, seed=1).schedule()
+        assert a != b
+
+    def test_monotone_and_capped(self):
+        policy = RetryPolicy(
+            max_attempts=12, base_delay=0.01, multiplier=3.0,
+            max_delay=0.5, jitter=0.4, seed=9,
+        )
+        schedule = policy.schedule()
+        assert all(b >= a for a, b in zip(schedule, schedule[1:]))
+        cap = policy.max_delay * (1.0 + policy.jitter)
+        assert all(delay <= cap for delay in schedule)
+
+    def test_no_jitter_is_pure_exponential(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, multiplier=2.0,
+            max_delay=10.0, jitter=0.0,
+        )
+        assert policy.schedule() == [0.1, 0.2, 0.4, 0.8]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ProtocolError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ProtocolError):
+            RetryPolicy(base_delay=-1)
+        with pytest.raises(ProtocolError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ProtocolError):
+            RetryPolicy(base_delay=2.0, max_delay=1.0)
+        with pytest.raises(ProtocolError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ProtocolError):
+            RetryPolicy().delay(-1)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        clock = SimulatedClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3, reset_timeout=10.0, clock=clock
+        )
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_half_open_probe_after_cooldown(self):
+        clock = SimulatedClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=5.0, clock=clock
+        )
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.allow()  # the probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow()  # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens(self):
+        clock = SimulatedClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=5.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        clock.advance(5.0)
+        assert breaker.allow()
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ProtocolError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ProtocolError):
+            CircuitBreaker(reset_timeout=0)
+
+
+class _FlakyChannel(Channel):
+    """In-process channel that fails scripted request indices."""
+
+    def __init__(self, handler, failures):
+        super().__init__()
+        self._handler = handler
+        self._failures = dict(failures)
+        self.seen = 0
+
+    def request(self, data, *, deadline=None):
+        index = self.seen
+        self.seen += 1
+        error = self._failures.get(index)
+        if error is not None:
+            raise error
+        response = self._handler(data)
+        self.bytes_sent += len(data)
+        self.bytes_received += len(response)
+        self.requests += 1
+        return response
+
+
+def _dispatcher():
+    executed = []
+
+    def bump(body: Reader) -> Writer:
+        value = body.u32()
+        executed.append(value)
+        return Writer().u32(value)
+
+    dispatcher = RpcDispatcher()
+    dispatcher.register("bump", bump)
+    dispatcher.register("insert_bulk", bump)
+    dispatcher.register("stats", lambda body: Writer().u32(0))
+    dispatcher.register("ping", lambda body: Writer().string("pong"))
+    dispatcher.enable_idempotency()
+    return dispatcher, executed
+
+
+def _resilient(dispatcher, failures, **kwargs):
+    channels = []
+
+    def factory():
+        channel = _FlakyChannel(dispatcher.handle, failures)
+        # request indices keep counting across reconnects: the n-th
+        # channel starts at 1000 * n, so scripted failures target a
+        # specific request of a specific connection
+        channel.seen = 1000 * len(channels)
+        channels.append(channel)
+        return channel
+
+    kwargs.setdefault(
+        "policy", RetryPolicy(max_attempts=4, base_delay=0.0, jitter=0.0)
+    )
+    kwargs.setdefault("sleep", lambda seconds: None)
+    kwargs.setdefault("key_seed", 1000)
+    return ResilientRpcClient(factory, **kwargs), channels
+
+
+class TestResilientRpcClient:
+    def test_clean_call_no_retries(self):
+        dispatcher, _ = _dispatcher()
+        client, channels = _resilient(dispatcher, {})
+        assert client.call("stats").u32() == 0
+        assert client.retries_attempted == 0
+        assert client.reconnects == 0
+        assert len(channels) == 1
+
+    def test_method_sets_are_disjoint(self):
+        assert not (MUTATING_METHODS & READ_ONLY_METHODS)
+
+    def test_read_only_retries_across_reconnect(self):
+        dispatcher, _ = _dispatcher()
+        # each fresh channel starts its index at 0, so fail the first
+        # request of the first channel only
+        failures = {0: ChannelError("connection lost")}
+        client, channels = _resilient(dispatcher, failures)
+        assert client.call("stats").u32() == 0
+        assert client.retries_attempted == 1
+        assert client.reconnects == 1
+        assert len(channels) == 2
+
+    def test_server_busy_retries_without_reconnect(self):
+        dispatcher, _ = _dispatcher()
+        failures = {0: ServerBusyError("shedding")}
+        client, channels = _resilient(dispatcher, failures)
+        assert client.call("stats").u32() == 0
+        assert client.retries_attempted == 1
+        assert client.reconnects == 0
+        assert len(channels) == 1
+
+    def test_mutating_call_carries_key_and_dedups(self):
+        dispatcher, executed = _dispatcher()
+        client, _ = _resilient(dispatcher, {})
+        client.call("insert_bulk", Writer().u32(1))
+        # the client's first generated key is key_seed itself (1000);
+        # replaying the envelope with that key must deduplicate, which
+        # proves the client attached the key on the wire
+        raw = encode_request(
+            "insert_bulk", Writer().u32(1).getvalue(), idempotency_key=1000
+        )
+        dispatcher.handle(raw)
+        assert executed == [1]
+        assert dispatcher.dedup_hits == 1
+
+    def test_retried_mutation_executes_once(self):
+        dispatcher, executed = _dispatcher()
+        # the mutation reaches the server, but its ack is lost: the
+        # channel raises *after* the handler ran
+        class AckLossChannel(_FlakyChannel):
+            def request(self, data, *, deadline=None):
+                index = self.seen
+                self.seen += 1
+                if index == 0:
+                    self._handler(data)  # server executed it
+                    raise ChannelError("connection lost before response")
+                return super().request(data, deadline=deadline)
+
+        channels = []
+
+        def factory():
+            channel = AckLossChannel(dispatcher.handle, {})
+            channel.seen = len(channels)  # shared request numbering
+            channels.append(channel)
+            return channel
+
+        client = ResilientRpcClient(
+            factory,
+            policy=RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0),
+            sleep=lambda s: None,
+            key_seed=7,
+        )
+        client.call("insert_bulk", Writer().u32(5))
+        # handler ran on the lost attempt and was deduplicated on retry
+        assert executed == [5]
+        assert dispatcher.dedup_hits == 1
+
+    def test_exhausted_retries_raise_typed_error(self):
+        dispatcher, _ = _dispatcher()
+        # every fresh channel fails its first (and only) request
+        client = ResilientRpcClient(
+            lambda: _FlakyChannel(
+                dispatcher.handle, {0: ChannelError("down")}
+            ),
+            policy=RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0),
+            sleep=lambda s: None,
+        )
+        with pytest.raises(RetryExhaustedError, match="3 attempts") as info:
+            client.call("stats")
+        assert isinstance(info.value.__cause__, ChannelError)
+        assert client.retries_attempted == 2
+
+    def test_deadline_exceeded_not_retried(self):
+        dispatcher, _ = _dispatcher()
+        failures = {0: DeadlineExceededError("budget spent")}
+        client, channels = _resilient(dispatcher, failures)
+        with pytest.raises(DeadlineExceededError):
+            client.call("stats", deadline=0.1)
+        assert client.retries_attempted == 0
+
+    def test_application_errors_not_retried(self):
+        dispatcher, _ = _dispatcher()
+        client, channels = _resilient(dispatcher, {})
+        with pytest.raises(RpcServerError, match="unknown method"):
+            client.call("nope_mutating_method")
+        assert client.retries_attempted == 0
+        assert len(channels) == 1
+
+    def test_circuit_opens_and_fails_fast(self):
+        dispatcher, _ = _dispatcher()
+        clock = SimulatedClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, reset_timeout=60.0, clock=clock
+        )
+        client = ResilientRpcClient(
+            lambda: (_ for _ in ()).throw(ChannelError("down")),
+            policy=RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0),
+            breaker=breaker,
+            sleep=lambda s: None,
+        )
+        with pytest.raises(RetryExhaustedError):
+            client.call("stats")
+        assert breaker.state == CircuitBreaker.OPEN
+        with pytest.raises(CircuitOpenError):
+            client.call("stats")
+
+    def test_accounting_survives_reconnect(self):
+        dispatcher, _ = _dispatcher()
+        client, channels = _resilient(dispatcher, {})
+        client.call("stats")
+        first_bytes = client.channel.bytes_total
+        assert first_bytes > 0
+        # kill the channel: next call reconnects, counters must keep
+        # the retired channel's bytes
+        client._drop_channel()
+        client.call("stats")
+        assert client.channel.bytes_total > first_bytes
+        assert client.channel.requests == 2
+        assert client.reconnects == 1
+
+    def test_reset_accounting(self):
+        dispatcher, _ = _dispatcher()
+        client, _ = _resilient(
+            dispatcher, {0: ChannelError("connection lost")}
+        )
+        client.call("stats")
+        assert client.retries_attempted == 1
+        client.reset_accounting()
+        assert client.retries_attempted == 0
+        assert client.reconnects == 0
+        assert client.channel.bytes_total == 0
+        assert client.server_time == 0.0
+
+    def test_ping_helper(self):
+        dispatcher, _ = _dispatcher()
+        client, _ = _resilient(dispatcher, {})
+        assert client.ping() is True
+
+    def test_thread_safe_key_generation(self):
+        dispatcher, _ = _dispatcher()
+        client, _ = _resilient(dispatcher, {})
+        keys = []
+        lock = threading.Lock()
+
+        def grab():
+            local = [client._next_key() for _ in range(200)]
+            with lock:
+                keys.extend(local)
+
+        threads = [threading.Thread(target=grab) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10)
+        assert len(set(keys)) == len(keys)

@@ -89,3 +89,121 @@ class TestAccounting:
         _dispatcher, client = _make_pair()
         raw = Writer().blob(b"inline").getvalue()
         assert client.call("echo", raw).blob() == b"inline"
+
+
+class TestIdempotency:
+    def _counting_pair(self, *, capacity=4096):
+        executions = []
+
+        def bump(body: Reader) -> Writer:
+            value = body.u32()
+            executions.append(value)
+            return Writer().u32(len(executions))
+
+        dispatcher = RpcDispatcher()
+        dispatcher.register("bump", bump)
+        dispatcher.enable_idempotency(capacity=capacity)
+        client = RpcClient(InProcessChannel(dispatcher.handle))
+        return dispatcher, client, executions
+
+    def test_keyless_envelope_is_bit_identical(self):
+        from repro.net.rpc import encode_request
+
+        legacy = Writer().string("echo").blob(b"body").getvalue()
+        assert encode_request("echo", b"body") == legacy
+        assert encode_request("echo", b"body", idempotency_key=9) != legacy
+
+    def test_duplicate_key_replays_not_reexecutes(self):
+        dispatcher, client, executions = self._counting_pair()
+        first = client.call("bump", Writer().u32(1), idempotency_key=42).u32()
+        replay = client.call("bump", Writer().u32(1), idempotency_key=42).u32()
+        assert executions == [1]
+        assert first == replay == 1
+        assert dispatcher.dedup_hits == 1
+
+    def test_distinct_keys_execute_independently(self):
+        dispatcher, client, executions = self._counting_pair()
+        client.call("bump", Writer().u32(1), idempotency_key=1)
+        client.call("bump", Writer().u32(2), idempotency_key=2)
+        assert executions == [1, 2]
+        assert dispatcher.dedup_hits == 0
+
+    def test_keyless_calls_never_deduplicate(self):
+        dispatcher, client, executions = self._counting_pair()
+        client.call("bump", Writer().u32(1))
+        client.call("bump", Writer().u32(1))
+        assert executions == [1, 1]
+        assert dispatcher.dedup_hits == 0
+
+    def test_error_responses_replay_too(self):
+        dispatcher = RpcDispatcher()
+        calls = []
+
+        def fragile(body: Reader) -> Writer:
+            calls.append(1)
+            raise QueryError("always fails")
+
+        dispatcher.register("fragile", fragile)
+        dispatcher.enable_idempotency()
+        client = RpcClient(InProcessChannel(dispatcher.handle))
+        for _ in range(2):
+            with pytest.raises(ProtocolError, match="always fails"):
+                client.call("fragile", idempotency_key=5)
+        # the handler ran once; the second response came from the cache
+        assert calls == [1]
+        assert dispatcher.dedup_hits == 1
+
+    def test_bounded_cache_evicts_oldest(self):
+        dispatcher, client, executions = self._counting_pair(capacity=2)
+        client.call("bump", Writer().u32(1), idempotency_key=1)
+        client.call("bump", Writer().u32(2), idempotency_key=2)
+        client.call("bump", Writer().u32(3), idempotency_key=3)  # evicts 1
+        client.call("bump", Writer().u32(1), idempotency_key=1)  # re-runs
+        assert executions == [1, 2, 3, 1]
+        assert dispatcher.dedup_hits == 0
+
+    def test_concurrent_duplicates_execute_once(self):
+        import threading
+
+        gate = threading.Event()
+        executions = []
+
+        def slow(body: Reader) -> Writer:
+            executions.append(1)
+            gate.wait(5)
+            return Writer().u32(7)
+
+        dispatcher = RpcDispatcher()
+        dispatcher.register("slow", slow)
+        dispatcher.enable_idempotency()
+        client = RpcClient(InProcessChannel(dispatcher.handle))
+        results = []
+
+        def call():
+            results.append(client.call("slow", idempotency_key=11).u32())
+
+        threads = [threading.Thread(target=call) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        import time
+
+        time.sleep(0.2)
+        gate.set()
+        for thread in threads:
+            thread.join(10)
+        assert results == [7, 7, 7, 7]
+        assert executions == [1]
+        assert dispatcher.dedup_hits == 3
+
+    def test_reset_accounting_zeros_dedup_hits(self):
+        dispatcher, client, _ = self._counting_pair()
+        client.call("bump", Writer().u32(1), idempotency_key=1)
+        client.call("bump", Writer().u32(1), idempotency_key=1)
+        assert dispatcher.dedup_hits == 1
+        dispatcher.reset_accounting()
+        assert dispatcher.dedup_hits == 0
+
+    def test_invalid_capacity_rejected(self):
+        dispatcher = RpcDispatcher()
+        with pytest.raises(ProtocolError, match="capacity"):
+            dispatcher.enable_idempotency(capacity=0)
