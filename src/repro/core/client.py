@@ -70,6 +70,7 @@ from repro.exceptions import QueryError
 from repro.metric.permutations import pivot_permutation, pivot_permutations
 from repro.metric.space import MetricSpace
 from repro.net.rpc import RpcClient
+from repro.parallel.scheduler import GLOBAL_STATS
 from repro.wire.encoding import Reader, Writer
 
 __all__ = ["Strategy", "SearchHit", "EncryptedClient", "DataOwner"]
@@ -732,6 +733,9 @@ class EncryptedClient:
             value = getattr(self.rpc, counter, None)
             if value is not None:
                 extras[counter] = value
+        # kernel scheduler activity (process-global; covers the
+        # client-side distance/OPE/AES kernels of this process)
+        extras.update(GLOBAL_STATS.snapshot())
         return extras
 
     def reset_accounting(self) -> None:

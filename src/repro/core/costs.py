@@ -36,6 +36,9 @@ __all__ = [
     "REQUESTS_SHED",
     "DEADLINE_EXPIRATIONS",
     "IDEMPOTENT_DEDUP_HITS",
+    "KERNEL_TASKS",
+    "KERNEL_PARALLEL_BATCHES",
+    "KERNEL_WORKERS",
     "CostRecorder",
     "CostReport",
     "CostTimer",
@@ -76,6 +79,19 @@ RECONNECTS = "reconnects"
 REQUESTS_SHED = "requests_shed"
 DEADLINE_EXPIRATIONS = "deadline_expirations"
 IDEMPOTENT_DEDUP_HITS = "idempotent_dedup_hits"
+
+#: canonical counter names of the multi-core kernel scheduler
+#: (:mod:`repro.parallel`). ``kernel_tasks`` counts task slices run on
+#: the worker pool, ``kernel_parallel_batches`` counts kernel calls
+#: that took the parallel path (a batch of N tasks adds N to the
+#: former, 1 to the latter), and ``kernel_workers`` reports the worker
+#: count of the most recent parallel batch (0 while everything runs
+#: serial). The counters are process-global — one scheduler serves
+#: client and server of an in-process deployment — and surface both in
+#: the server ``stats`` RPC and the client report extras.
+KERNEL_TASKS = "kernel_tasks"
+KERNEL_PARALLEL_BATCHES = "kernel_parallel_batches"
+KERNEL_WORKERS = "kernel_workers"
 
 
 class CostRecorder:

@@ -61,6 +61,7 @@ from repro.exceptions import QueryError
 from repro.mindex.index import MIndex
 from repro.net.clock import Clock
 from repro.net.rpc import RpcDispatcher
+from repro.parallel.scheduler import GLOBAL_STATS
 from repro.storage.memory import MemoryStorage
 from repro.wire.encoding import Reader, Writer
 
@@ -337,6 +338,9 @@ class SimilarityCloudServer:
                 if value is not None:
                     stats[counter] = value
             stats["idempotent_dedup_hits"] = self.dispatcher.dedup_hits
+            # kernel scheduler counters (process-global: one scheduler
+            # serves every kernel in this process)
+            stats.update(GLOBAL_STATS.snapshot())
         writer = Writer()
         writer.u32(len(stats))
         for key, value in sorted(stats.items()):

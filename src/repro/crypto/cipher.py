@@ -92,7 +92,12 @@ class AesCipher:
 
         Semantically identical to ``[self.encrypt(p) for p in
         plaintexts]`` but amortizes the per-message AES overhead — this
-        is what bulk insert and candidate-set decryption hinge on.
+        is what bulk insert and candidate-set decryption hinge on. The
+        whole batch is one packed buffer end to end: every message's
+        counter blocks go through a single :func:`encrypt_blocks` call
+        (block-range sliced across the kernel scheduler when enabled)
+        and the keystream is applied by one packed XOR, not a Python
+        loop of per-plaintext passes.
         """
         nonces = []
         for plaintext in plaintexts:

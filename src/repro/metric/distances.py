@@ -27,6 +27,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.exceptions import MetricError
+from repro.parallel import backend
 
 __all__ = [
     "Distance",
@@ -94,7 +95,15 @@ class Distance:
 
     def pairwise(self, qs: np.ndarray, xs: np.ndarray) -> np.ndarray:
         """Distance matrix between the rows of ``qs`` and the rows of
-        ``xs``; ``pairwise(Q, X)[i] == batch(Q[i], X)`` bit for bit."""
+        ``xs``; ``pairwise(Q, X)[i] == batch(Q[i], X)`` bit for bit.
+
+        With ``REPRO_KERNEL_WORKERS > 1`` the matrix is computed in
+        row blocks on the kernel scheduler. Every ``_pairwise``
+        implementation reduces strictly per row (sum/max over the
+        trailing axis), so a row block of the full kernel is the same
+        floating-point program as the corresponding rows of the serial
+        call — the block split preserves the bit-for-bit contract.
+        """
         qs = np.asarray(qs, dtype=np.float64)
         xs = np.asarray(xs, dtype=np.float64)
         if qs.ndim == 1:
@@ -106,6 +115,22 @@ class Distance:
                 f"dimensionality mismatch: queries {qs.shape[1]} vs "
                 f"matrix rows {xs.shape[1]}"
             )
+        if backend.kernel_workers() > 1:
+            out = np.empty((qs.shape[0], xs.shape[0]), dtype=np.float64)
+
+            def compute(start: int, stop: int) -> np.ndarray:
+                return self._pairwise(qs[start:stop], xs)
+
+            def write(start: int, stop: int, result: np.ndarray) -> None:
+                out[start:stop] = result
+
+            spec = backend.ProcessSpec(
+                "distance_rows", {"qs": qs, "xs": xs}, self, out
+            )
+            if backend.parallel_slices(
+                "distance", qs.shape[0], compute, write, process_spec=spec
+            ):
+                return out
         return self._pairwise(qs, xs)
 
     # -- implementation hooks ------------------------------------------

@@ -48,6 +48,7 @@ from repro.metric.permutations import (
     prefix_promise,
 )
 from repro.mindex.cell_tree import CellTree, LeafCell
+from repro.parallel import backend
 
 __all__ = ["MIndex", "RangeSearchStats"]
 
@@ -729,7 +730,31 @@ class MIndex:
         Numerically exact — every term ``decay**l * |rank - l|`` and all
         partial sums are exactly representable — so each entry equals
         :func:`~repro.metric.permutations.prefix_promise` bit for bit.
+        Rows are independent (one query each), so large batches split
+        into query-row blocks on the kernel scheduler when
+        ``REPRO_KERNEL_WORKERS > 1``, preserving exactness.
         """
+        if backend.kernel_workers() > 1:
+            out = np.empty((ranks.shape[0], len(leaves)), dtype=np.float64)
+
+            def compute(start: int, stop: int) -> np.ndarray:
+                return MIndex._promise_matrix_serial(
+                    ranks[start:stop], leaves, level_decay
+                )
+
+            def write(start: int, stop: int, result: np.ndarray) -> None:
+                out[start:stop] = result
+
+            if backend.parallel_slices(
+                "promise", ranks.shape[0], compute, write
+            ):
+                return out
+        return MIndex._promise_matrix_serial(ranks, leaves, level_decay)
+
+    @staticmethod
+    def _promise_matrix_serial(
+        ranks: np.ndarray, leaves: list["LeafCell"], level_decay: float
+    ) -> np.ndarray:
         promises = np.empty((ranks.shape[0], len(leaves)), dtype=np.float64)
         by_length: dict[int, list[int]] = {}
         for index, leaf in enumerate(leaves):

@@ -1,0 +1,43 @@
+"""Multi-core kernel scheduler with a bit-identical reduction order.
+
+The hot kernels (pivot distances, whole-matrix OPE, bulk AES, chunk
+decompression) are all embarrassingly parallel across rows / columns /
+block ranges. This package slices each kernel call into fixed-order
+tasks, executes them on a worker pool (threads by default — NumPy and
+zlib release the GIL — or spawn processes fed through shared-memory
+slabs), and merges the per-task results back into a preallocated
+output at each task's offset. Because slices are written, never
+accumulated, the result is byte-identical to the serial pass at every
+worker count, and ``REPRO_KERNEL_WORKERS=1`` (the default) runs the
+unmodified serial code path.
+"""
+
+from repro.parallel.backend import (
+    backend_mode,
+    kernel_workers,
+    min_items,
+    parallel_slices,
+    shutdown,
+    workers_override,
+)
+from repro.parallel.scheduler import (
+    GLOBAL_STATS,
+    SchedulerStats,
+    TaskSlice,
+    WorkerPool,
+    slice_tasks,
+)
+
+__all__ = [
+    "GLOBAL_STATS",
+    "SchedulerStats",
+    "TaskSlice",
+    "WorkerPool",
+    "backend_mode",
+    "kernel_workers",
+    "min_items",
+    "parallel_slices",
+    "shutdown",
+    "slice_tasks",
+    "workers_override",
+]

@@ -1,0 +1,378 @@
+"""Executor selection and the one entry point kernels call.
+
+:func:`parallel_slices` is the whole integration surface: a kernel
+passes its index-range length, a ``compute(task)`` closure and a
+``write(start, stop, result)`` callback, and gets back ``True`` if the
+parallel path ran (output fully written) or ``False`` if the caller
+should fall through to its unmodified serial code. The decision chain:
+
+* ``REPRO_KERNEL_WORKERS`` (or a :func:`workers_override`) picks the
+  worker count; ``<= 1`` — the default — means strictly serial.
+* ``REPRO_KERNEL_BACKEND`` picks ``serial`` / ``thread`` / ``process``.
+  Threads are the default for every kernel kind because the hot loops
+  (NumPy ufuncs, zlib) release the GIL; the process backend is opt-in
+  and feeds workers through shared-memory slabs so the object×pivot
+  matrix is never pickled.
+* Inputs smaller than twice the kind's ``min_items`` floor stay serial
+  — slicing a 64-row matrix eight ways costs more than it saves.
+
+Either way the output is byte-identical: tasks write disjoint slices
+of a preallocated output at their own offsets, and the merge order is
+the task order, not the completion order.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from repro.exceptions import ParallelError, ReproError
+from repro.parallel.scheduler import (
+    GLOBAL_STATS,
+    TaskSlice,
+    WorkerPool,
+    slice_tasks,
+)
+
+__all__ = [
+    "MIN_ITEMS",
+    "ProcessSpec",
+    "backend_mode",
+    "kernel_workers",
+    "min_items",
+    "parallel_slices",
+    "shutdown",
+    "workers_override",
+]
+
+WORKERS_ENV = "REPRO_KERNEL_WORKERS"
+BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+_MODES = ("serial", "thread", "process")
+
+#: per-kind minimum items per task slice. A kernel only goes parallel
+#: when it has at least two slices' worth of work, i.e. ``total >=
+#: 2 * min_items(kind)``. Tests shrink these to exercise the parallel
+#: path on tiny inputs; production values keep per-query batch kernels
+#: (64-row pairwise calls, single-message AES) on the serial path where
+#: the scheduler overhead would dominate.
+MIN_ITEMS: dict[str, int] = {
+    "distance": 64,  # query rows per task
+    "ope": 1,  # matrix columns per task (gated separately on size)
+    "aes": 256,  # 16-byte blocks per task
+    "permutation": 64,  # matrix rows per task
+    "promise": 32,  # query rows per task
+    "decompress": 1,  # uncached chunks per task
+}
+
+_DEFAULT_MIN_ITEMS = 1
+
+_override_workers: int | None = None
+_pool_lock = threading.Lock()
+_thread_pool: WorkerPool | None = None
+_process_pool: ProcessPoolExecutor | None = None
+_process_pool_size = 0
+
+
+def min_items(kind: str) -> int:
+    """Minimum items per task slice for a kernel kind."""
+    return MIN_ITEMS.get(kind, _DEFAULT_MIN_ITEMS)
+
+
+def kernel_workers() -> int:
+    """Resolve the worker count: override, then env, then 1 (serial)."""
+    if _override_workers is not None:
+        return _override_workers
+    raw = os.environ.get(WORKERS_ENV)
+    if raw is None or raw.strip() == "":
+        return 1
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ParallelError(
+            f"{WORKERS_ENV} must be an integer, got {raw!r}"
+        ) from None
+    return max(1, workers)
+
+
+@contextlib.contextmanager
+def workers_override(workers: int) -> Iterator[None]:
+    """Force a worker count for the duration of the block.
+
+    Process-wide, not thread-scoped — meant for benches and tests that
+    sweep worker counts inside one interpreter.
+    """
+    global _override_workers
+    previous = _override_workers
+    _override_workers = max(1, int(workers))
+    try:
+        yield
+    finally:
+        _override_workers = previous
+
+
+def backend_mode(kind: str) -> str:
+    """Executor for a kernel kind: ``serial`` / ``thread`` / ``process``.
+
+    Threads are the default for every kind; ``REPRO_KERNEL_BACKEND``
+    overrides globally, and the process backend silently falls back to
+    threads for kinds without a registered process kernel (closures
+    cannot cross a process boundary).
+    """
+    raw = os.environ.get(BACKEND_ENV)
+    if raw is None or raw.strip() == "":
+        return "thread"
+    mode = raw.strip().lower()
+    if mode not in _MODES:
+        raise ParallelError(
+            f"{BACKEND_ENV} must be one of {_MODES}, got {raw!r}"
+        )
+    return mode
+
+
+@dataclass
+class ProcessSpec:
+    """What a process-backend kernel needs on the far side of spawn.
+
+    ``arrays`` ride in shared-memory slabs (never pickled); ``payload``
+    is the small picklable remainder (a ``Distance`` instance, an OPE
+    transform, raw AES key bytes); ``fn`` names a registered slice
+    kernel that writes ``out``'s slice for one task.
+    """
+
+    fn: str
+    arrays: dict[str, np.ndarray]
+    payload: Any
+    out: np.ndarray
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+def parallel_slices(
+    kind: str,
+    total: int,
+    compute: Callable[[int, int], Any],
+    write: Callable[[int, int, Any], None],
+    *,
+    process_spec: ProcessSpec | None = None,
+) -> bool:
+    """Run a sliced kernel on the configured backend.
+
+    Returns ``True`` when the parallel path ran and the output is fully
+    written, ``False`` when the caller must run its serial path (the
+    default with ``REPRO_KERNEL_WORKERS`` unset). ``compute(start,
+    stop)`` returns the slice result; ``write(start, stop, result)``
+    stores it at the task offset of a preallocated output. Writes
+    happen on the calling thread, in task order.
+    """
+    workers = kernel_workers()
+    if workers <= 1:
+        return False
+    floor = min_items(kind)
+    if total < 2 * floor:
+        return False
+    mode = backend_mode(kind)
+    if mode == "serial":
+        return False
+    tasks = slice_tasks(total, workers, min_items=floor)
+    if len(tasks) < 2:
+        return False
+    if mode == "process" and process_spec is not None:
+        _run_process(process_spec, tasks, workers)
+    else:
+        pool = _get_thread_pool(workers)
+        results = pool.run(
+            tasks, lambda task: compute(task.start, task.stop)
+        )
+        for task, result in results:
+            write(task.start, task.stop, result)
+    GLOBAL_STATS.record_batch(len(tasks), workers)
+    return True
+
+
+def _get_thread_pool(workers: int) -> WorkerPool:
+    """The persistent thread pool, resized when the knob changes."""
+    global _thread_pool
+    with _pool_lock:
+        if _thread_pool is None or _thread_pool.workers != workers:
+            if _thread_pool is not None:
+                _thread_pool.shutdown()
+            _thread_pool = WorkerPool(workers)
+        return _thread_pool
+
+
+def shutdown() -> None:
+    """Tear down both executors (tests; safe to call when idle)."""
+    global _thread_pool, _process_pool, _process_pool_size
+    with _pool_lock:
+        if _thread_pool is not None:
+            _thread_pool.shutdown()
+            _thread_pool = None
+        if _process_pool is not None:
+            _process_pool.shutdown(wait=True)
+            _process_pool = None
+            _process_pool_size = 0
+
+
+# -- process backend -------------------------------------------------------
+#
+# Spawn workers attach the input and output slabs by name, look up the
+# registered slice kernel, and write their task's slice of the output
+# slab directly; the parent copies the finished slab back once. Only
+# the slab *names* and the small payload cross the pickle boundary.
+
+
+def _get_process_pool(workers: int) -> ProcessPoolExecutor:
+    global _process_pool, _process_pool_size
+    with _pool_lock:
+        if _process_pool is None or _process_pool_size != workers:
+            if _process_pool is not None:
+                _process_pool.shutdown(wait=True)
+            _process_pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+            _process_pool_size = workers
+        return _process_pool
+
+
+def _export_array(arr: np.ndarray):
+    """Copy an array into a fresh shared-memory slab."""
+    from multiprocessing import shared_memory
+
+    arr = np.ascontiguousarray(arr)
+    slab = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+    view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=slab.buf)
+    view[...] = arr
+    return slab, (slab.name, arr.shape, arr.dtype.str)
+
+
+def _attach_array(spec) -> tuple[Any, np.ndarray]:
+    """Map a slab exported by :func:`_export_array` (worker side)."""
+    from multiprocessing import shared_memory
+
+    name, shape, dtype = spec
+    slab = shared_memory.SharedMemory(name=name)
+    return slab, np.ndarray(shape, dtype=np.dtype(dtype), buffer=slab.buf)
+
+
+def _process_task(
+    fn_name: str,
+    in_specs: dict,
+    out_spec,
+    payload: Any,
+    meta: dict,
+    start: int,
+    stop: int,
+) -> None:
+    """Run one task slice inside a spawn worker."""
+    fn = _PROCESS_KERNELS[fn_name]
+    slabs = []
+    try:
+        arrays = {}
+        for name, spec in in_specs.items():
+            slab, view = _attach_array(spec)
+            slabs.append(slab)
+            arrays[name] = view
+        out_slab, out = _attach_array(out_spec)
+        slabs.append(out_slab)
+        fn(arrays, out, payload, meta, start, stop)
+    finally:
+        for slab in slabs:
+            slab.close()
+
+
+def _run_process(
+    spec: ProcessSpec, tasks: list[TaskSlice], workers: int
+) -> None:
+    from multiprocessing import shared_memory
+
+    pool = _get_process_pool(workers)
+    slabs: list[shared_memory.SharedMemory] = []
+    try:
+        in_specs = {}
+        for name, arr in spec.arrays.items():
+            slab, exported = _export_array(arr)
+            slabs.append(slab)
+            in_specs[name] = exported
+        out_slab, out_spec = _export_array(spec.out)
+        slabs.append(out_slab)
+        futures = [
+            pool.submit(
+                _process_task,
+                spec.fn,
+                in_specs,
+                out_spec,
+                spec.payload,
+                spec.meta,
+                task.start,
+                task.stop,
+            )
+            for task in tasks
+        ]
+        errors = []
+        for future in futures:
+            try:
+                future.result()
+            except ReproError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - surfaced typed below
+                errors.append(exc)
+        if errors:
+            error = errors[0]
+            raise ParallelError(
+                f"process kernel worker failed: "
+                f"{type(error).__name__}: {error}"
+            ) from error
+        result = np.ndarray(
+            spec.out.shape, dtype=spec.out.dtype, buffer=out_slab.buf
+        )
+        spec.out[...] = result
+    finally:
+        for slab in slabs:
+            slab.close()
+            try:
+                slab.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+# -- registered process kernels --------------------------------------------
+#
+# Module-level functions (picklable by name) with lazy imports to keep
+# the dependency direction kernels -> backend, not backend -> kernels.
+
+
+def _kernel_distance_rows(arrays, out, payload, meta, start, stop) -> None:
+    """``out[start:stop] = distance._pairwise(qs[start:stop], xs)``."""
+    distance = payload
+    out[start:stop] = distance._pairwise(arrays["qs"][start:stop], arrays["xs"])
+
+
+def _kernel_ope_cols(arrays, out, payload, meta, start, stop) -> None:
+    """Column slice of the OPE matrix transform."""
+    ope = payload
+    out[:, start:stop] = ope._transform_forward(
+        arrays["matrix"][:, start:stop]
+    )
+
+
+def _kernel_aes_blocks(arrays, out, payload, meta, start, stop) -> None:
+    """Block-range slice of the bulk AES pass (payload = raw key bytes)."""
+    from repro.crypto.aes import AesKey, _encrypt_blocks_core
+
+    key = AesKey(payload)
+    out[start:stop] = _encrypt_blocks_core(key, arrays["blocks"][start:stop])
+
+
+_PROCESS_KERNELS: dict[str, Callable] = {
+    "distance_rows": _kernel_distance_rows,
+    "ope_cols": _kernel_ope_cols,
+    "aes_blocks": _kernel_aes_blocks,
+}

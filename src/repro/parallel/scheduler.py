@@ -1,0 +1,225 @@
+"""Global task queue + per-worker local buffers + ordered merge.
+
+The scheduler follows the CoZip shape: a kernel call is sliced into
+tasks with *fixed* ids covering ``range(total)`` in order, workers pull
+tasks from one global queue and append ``(task, result)`` pairs to
+their own local buffer (no cross-worker synchronisation on the hot
+path), and once the batch drains, the caller merges the buffers sorted
+by task id, writing each slice into a preallocated output at the
+task's own offset. Nothing is ever accumulated across tasks, so the
+merged result is byte-identical to the serial pass regardless of the
+worker count or the order in which workers happened to finish.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.exceptions import ParallelError, ReproError
+
+__all__ = [
+    "GLOBAL_STATS",
+    "SchedulerStats",
+    "TaskSlice",
+    "WorkerPool",
+    "slice_tasks",
+]
+
+
+@dataclass(frozen=True)
+class TaskSlice:
+    """One fixed slice ``[start, stop)`` of a kernel's index range."""
+
+    task_id: int
+    start: int
+    stop: int
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+def slice_tasks(
+    total: int,
+    workers: int,
+    *,
+    min_items: int = 1,
+    tasks_per_worker: int = 4,
+) -> list[TaskSlice]:
+    """Slice ``range(total)`` into deterministic, ordered tasks.
+
+    The task list depends only on the arguments — never on timing — so
+    two runs with the same worker count produce the same slicing, and
+    any slicing produces the same merged output (each task writes only
+    its own ``[start, stop)`` rows). Slices are contiguous, in order,
+    and cover the range exactly; each holds at least ``min_items``
+    items (except when ``total`` itself is smaller). ``tasks_per_worker``
+    oversubscribes the queue so a slow worker cannot straggle the batch.
+    """
+    if total <= 0:
+        return []
+    if min_items < 1:
+        raise ParallelError(f"min_items must be >= 1, got {min_items}")
+    if workers <= 1:
+        return [TaskSlice(0, 0, total)]
+    n_tasks = min(workers * tasks_per_worker, max(1, total // min_items))
+    n_tasks = max(1, min(n_tasks, total))
+    base, extra = divmod(total, n_tasks)
+    tasks: list[TaskSlice] = []
+    start = 0
+    for task_id in range(n_tasks):
+        stop = start + base + (1 if task_id < extra else 0)
+        tasks.append(TaskSlice(task_id, start, stop))
+        start = stop
+    assert start == total
+    return tasks
+
+
+class SchedulerStats:
+    """Thread-safe counters describing parallel kernel activity.
+
+    ``kernel_tasks`` counts task slices executed on the pool,
+    ``kernel_parallel_batches`` counts kernel calls that actually took
+    the parallel path, and ``kernel_workers`` is the worker count of
+    the most recent parallel batch (0 until one runs). The counters are
+    process-global on purpose: in-process deployments share one
+    scheduler between client and server, exactly like the real cores.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tasks = 0
+        self._batches = 0
+        self._workers = 0
+
+    def record_batch(self, n_tasks: int, workers: int) -> None:
+        """Record one parallel batch of ``n_tasks`` tasks."""
+        with self._lock:
+            self._tasks += n_tasks
+            self._batches += 1
+            self._workers = workers
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy of the counters under the canonical names."""
+        with self._lock:
+            return {
+                "kernel_tasks": self._tasks,
+                "kernel_parallel_batches": self._batches,
+                "kernel_workers": self._workers,
+            }
+
+    def reset(self) -> None:
+        """Zero all counters (tests and benches)."""
+        with self._lock:
+            self._tasks = 0
+            self._batches = 0
+            self._workers = 0
+
+
+#: the one scheduler-wide stats object, exported through ``costs.py``
+#: names, the server ``stats`` RPC and the client report extras.
+GLOBAL_STATS = SchedulerStats()
+
+
+class _Batch:
+    """One kernel call in flight: tasks, local buffers, completion latch."""
+
+    __slots__ = ("compute", "buffers", "errors", "remaining", "lock", "done")
+
+    def __init__(self, compute: Callable[[TaskSlice], Any], n_workers: int,
+                 n_tasks: int) -> None:
+        self.compute = compute
+        self.buffers: list[list[tuple[TaskSlice, Any]]] = [
+            [] for _ in range(n_workers)
+        ]
+        self.errors: list[BaseException] = []
+        self.remaining = n_tasks
+        self.lock = threading.Lock()
+        self.done = threading.Event()
+
+    def finish_one(self) -> None:
+        with self.lock:
+            self.remaining -= 1
+            if self.remaining == 0:
+                self.done.set()
+
+
+class WorkerPool:
+    """Persistent daemon worker threads around one global task queue.
+
+    Each worker loops: pull ``(batch, task)`` from the global queue,
+    run ``batch.compute(task)``, append the result to its *own* local
+    buffer. The pool is reused across kernel calls (threads are created
+    once), and multiple batches may be in flight concurrently — each
+    batch has its own buffers and completion latch.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ParallelError(f"worker count must be >= 1, got {workers}")
+        self.workers = workers
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(index,),
+                name=f"repro-kernel-{index}",
+                daemon=True,
+            )
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def _worker_loop(self, worker_index: int) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            batch, task = item
+            try:
+                result = batch.compute(task)
+            except BaseException as exc:  # noqa: BLE001 - surfaced to caller
+                with batch.lock:
+                    batch.errors.append(exc)
+            else:
+                batch.buffers[worker_index].append((task, result))
+            batch.finish_one()
+
+    def run(
+        self,
+        tasks: Sequence[TaskSlice],
+        compute: Callable[[TaskSlice], Any],
+    ) -> list[tuple[TaskSlice, Any]]:
+        """Run ``compute`` over ``tasks``; return results in task order.
+
+        Worker exceptions abort the batch: a library error
+        (:class:`ReproError`) is re-raised unchanged so callers observe
+        the same exception the serial path would have raised, anything
+        else is wrapped in :class:`ParallelError`.
+        """
+        if not tasks:
+            return []
+        batch = _Batch(compute, self.workers, len(tasks))
+        for task in tasks:
+            self._queue.put((batch, task))
+        batch.done.wait()
+        if batch.errors:
+            error = batch.errors[0]
+            if isinstance(error, ReproError):
+                raise error
+            raise ParallelError(
+                f"kernel worker crashed: {type(error).__name__}: {error}"
+            ) from error
+        merged = [pair for buffer in batch.buffers for pair in buffer]
+        merged.sort(key=lambda pair: pair[0].task_id)
+        return merged
+
+    def shutdown(self) -> None:
+        """Stop all worker threads (used when the pool is resized)."""
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=5.0)

@@ -1,0 +1,127 @@
+"""Property tests: serial and parallel kernels are byte-identical.
+
+Random shapes, dtypes and worker counts for all three kernel families
+(pairwise distances, the OPE matrix transform, the bulk AES pass) plus
+the permutation kernel. Inputs are drawn above the engagement floors so
+the parallel path actually runs; the serial reference is pinned with a
+``workers_override(1)`` so the suite proves the same identity no matter
+what ``REPRO_KERNEL_WORKERS`` the environment sets.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AesKey, encrypt_blocks
+from repro.crypto.ope import OrderPreservingEncryption
+from repro.metric.distances import (
+    ChebyshevDistance,
+    L1Distance,
+    L2Distance,
+    MinkowskiDistance,
+)
+from repro.metric.permutations import pivot_permutations
+from repro.parallel import backend
+
+distances = st.sampled_from(
+    [L1Distance(), L2Distance(), ChebyshevDistance(), MinkowskiDistance(3)]
+)
+worker_counts = st.integers(min_value=2, max_value=5)
+float_dtypes = st.sampled_from([np.float64, np.float32, np.int32])
+
+
+def _matrix(rng, rows, cols, dtype):
+    values = rng.uniform(0, 100, size=(rows, cols))
+    return values.astype(dtype)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n_queries=st.integers(128, 200),
+    n_xs=st.integers(1, 40),
+    dim=st.integers(1, 10),
+    dtype=float_dtypes,
+    distance=distances,
+    workers=worker_counts,
+)
+def test_pairwise_parallel_identity(
+    seed, n_queries, n_xs, dim, dtype, distance, workers
+):
+    rng = np.random.default_rng(seed)
+    qs = _matrix(rng, n_queries, dim, dtype)
+    xs = _matrix(rng, n_xs, dim, dtype)
+    with backend.workers_override(1):
+        serial = distance.pairwise(qs, xs)
+    with backend.workers_override(workers):
+        parallel = distance.pairwise(qs, xs)
+    assert serial.shape == parallel.shape
+    assert serial.tobytes() == parallel.tobytes()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    rows=st.integers(48, 96),
+    cols=st.integers(32, 64),
+    dtype=float_dtypes,
+    workers=worker_counts,
+    scale=st.floats(0.5, 3.0),
+)
+def test_ope_parallel_identity(seed, rows, cols, dtype, workers, scale):
+    rng = np.random.default_rng(seed)
+    ope = OrderPreservingEncryption(seed.to_bytes(4, "big") + b"-key").fit(
+        rng.uniform(0, 10, size=200)
+    )
+    # scale > 1 pushes values past the calibrated domain, exercising
+    # the boundary-slope extrapolation inside parallel slices too
+    matrix = (rng.uniform(0, 10 * scale, size=(rows, cols))).astype(dtype)
+    with backend.workers_override(1):
+        serial = ope.encrypt(matrix)
+    with backend.workers_override(workers):
+        parallel = ope.encrypt(matrix)
+    assert serial.tobytes() == parallel.tobytes()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n_blocks=st.integers(512, 700),
+    key=st.binary(min_size=16, max_size=16)
+    | st.binary(min_size=32, max_size=32),
+    workers=worker_counts,
+)
+def test_aes_parallel_identity(seed, n_blocks, key, workers):
+    rng = np.random.default_rng(seed)
+    aes = AesKey(key)
+    blocks = rng.integers(0, 256, size=(n_blocks, 16), dtype=np.uint8)
+    with backend.workers_override(1):
+        serial = encrypt_blocks(aes, blocks)
+    with backend.workers_override(workers):
+        parallel = encrypt_blocks(aes, blocks)
+    assert serial.tobytes() == parallel.tobytes()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    rows=st.integers(128, 220),
+    n_pivots=st.integers(1, 12),
+    workers=worker_counts,
+    tie_heavy=st.booleans(),
+)
+def test_permutations_parallel_identity(
+    seed, rows, n_pivots, workers, tie_heavy
+):
+    rng = np.random.default_rng(seed)
+    if tie_heavy:
+        # few distinct values -> massive rank ties; the stable sort's
+        # tie-breaking must survive row-block slicing
+        matrix = rng.integers(0, 3, size=(rows, n_pivots)).astype(np.float64)
+    else:
+        matrix = rng.uniform(0, 1, size=(rows, n_pivots))
+    with backend.workers_override(1):
+        serial = pivot_permutations(matrix)
+    with backend.workers_override(workers):
+        parallel = pivot_permutations(matrix)
+    assert serial.tobytes() == parallel.tobytes()
