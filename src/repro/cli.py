@@ -124,7 +124,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     strategy = _parse_strategy(args.strategy)
     print(f"building encrypted deployment over {dataset.name} "
           f"({dataset.n_records} x {dataset.dimension}, "
-          f"strategy={strategy.value}, transport={args.transport}) ...")
+          f"strategy={strategy.value}, transport={args.transport}"
+          + (f", shards={args.shards}" if args.shards > 1 else "")
+          + ") ...")
     cloud = SimilarityCloud.build(
         dataset.vectors,
         distance=dataset.distance,
@@ -133,11 +135,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         strategy=strategy,
         seed=args.seed,
         transport=args.transport,
+        shards=args.shards,
     )
     cloud.owner.outsource(range(dataset.n_records), dataset.vectors)
-    server = cloud._tcp_server
-    print(f"serving {len(cloud.server.index)} records on "
-          f"{server.host}:{server.port}")
+    if cloud.cluster is not None:
+        total = sum(len(s.index) for s in cloud.cluster.servers)
+        ports = ", ".join(
+            f"{t.host}:{t.port}" for t in cloud.cluster._transports
+        )
+        print(f"serving {total} records across {args.shards} shards "
+              f"on {ports}")
+    else:
+        server = cloud._tcp_server
+        print(f"serving {len(cloud.server.index)} records on "
+              f"{server.host}:{server.port}")
     # SIGTERM triggers the same graceful path as Ctrl-C: drain (finish
     # in-flight requests, flush storage), then close
     stop = threading.Event()
@@ -243,6 +254,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--records", type=int, default=3000,
                        help="collection size (cophir only)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="partition the cell tree across N shard "
+                            "servers (each on its own port); clients "
+                            "scatter-gather through a ShardRouter with "
+                            "bit-identical results")
     serve.add_argument("--drain-timeout", type=float, default=30.0,
                        help="seconds to wait for in-flight requests on "
                             "shutdown (SIGTERM and Ctrl-C both drain "

@@ -1,0 +1,33 @@
+"""Sharded M-Index cluster with scatter–gather query routing.
+
+The cell tree partitions across shards by *top-level permutation
+prefix* (each record's nearest pivot): :class:`ShardMap` holds the
+deterministic pivot→shard assignment, :class:`ShardRouter` is a
+drop-in RPC client that scatters batches across the shards and merges
+the candidate streams bit-identically to a single server, and
+:class:`LocalShardCluster` / :class:`ProcessShardCluster` stand
+clusters up in-process (tests, simulation) or as one OS process per
+shard (real parallel throughput).
+
+See ``docs/ARCHITECTURE.md`` ("The shard cluster") for the design and
+the bit-identity argument.
+"""
+
+from repro.cluster.deploy import LocalShardCluster, ProcessShardCluster
+from repro.cluster.router import (
+    ShardRouter,
+    merge_knn_candidates,
+    merge_range_candidates,
+    merge_stats,
+)
+from repro.cluster.shard_map import ShardMap
+
+__all__ = [
+    "LocalShardCluster",
+    "ProcessShardCluster",
+    "ShardMap",
+    "ShardRouter",
+    "merge_knn_candidates",
+    "merge_range_candidates",
+    "merge_stats",
+]

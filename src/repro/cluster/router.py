@@ -1,0 +1,816 @@
+"""Client-side scatter–gather routing over a shard set.
+
+:class:`ShardRouter` is a drop-in for
+:class:`~repro.net.rpc.RpcClient`: it exposes the same ``call`` /
+``server_time`` / ``calls`` / ``channel`` surface, so an
+:class:`~repro.core.client.EncryptedClient` talks to a whole cluster
+without knowing it — the router intercepts each method by name, fans it
+out, and re-encodes the merged answer in the exact single-server
+response format.
+
+**Bit-identity.** Searches scatter to the ``*_scatter`` RPCs, which
+return per-leaf candidate groups instead of final sets (see
+:mod:`repro.wire.scatter`). Because the shard map partitions by
+top-level pivot, a shard's visit order is the global visit order
+restricted to its own leaves — so for kNN, the groups of all shards
+sorted by ``(promise, prefix)`` reproduce the global promise order, and
+replaying the stopping rule over that stream consumes exactly the
+leaves the single server would have accessed (each shard over-visits
+under its *local* stopping rule, never under-visits). For range scans,
+sorting groups by top pivot reassembles the global lexicographic leaf
+order. The merged candidate streams are then encoded through the same
+writers the single server uses, so response bytes — not just result
+sets — are identical (hard-asserted in ``bench_shard_scaling.py``).
+
+**Resilience.** Each shard gets its own
+:class:`~repro.net.resilience.ResilientRpcClient` with its *own*
+:class:`~repro.net.resilience.CircuitBreaker`, so one dead shard trips
+one breaker. Strict mode (default) surfaces that as a typed
+:class:`~repro.exceptions.ShardUnavailableError`; ``allow_partial``
+degrades gracefully instead — the dead shard's prefix range goes dark,
+the rest of the batch is answered, and every skip is counted in
+``shards_skipped`` (surfaced in the client report) so degraded answers
+are always visibly degraded. Mutations never degrade: an unreachable
+shard always fails the write.
+
+**Rebalance.** :meth:`ShardRouter.rebalance` moves a set of top-level
+pivots between live shards with zero record loss: ``export_cells`` on
+the source (response body == the ``insert`` request body), replay on
+the target, ``drop_cells`` on the source — copy before delete, so a
+crash between the steps leaves duplicates, which the merge suppresses
+by oid, rather than losing records.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.shard_map import ShardMap
+from repro.core.records import CandidateEntry, IndexedRecord, RecordBatch
+from repro.exceptions import (
+    ChannelError,
+    DeadlineExceededError,
+    ProtocolError,
+    ShardUnavailableError,
+)
+from repro.net.resilience import (
+    CircuitBreaker,
+    ResilientRpcClient,
+    RetryPolicy,
+)
+from repro.net.rpc import RpcClient
+from repro.wire.encoding import Reader, Writer
+from repro.wire.scatter import (
+    read_knn_scatter_response,
+    read_range_scatter_response,
+    read_stats_map,
+    write_candidate_lists,
+    write_candidates,
+    write_stats_map,
+)
+
+__all__ = [
+    "ShardRouter",
+    "merge_knn_candidates",
+    "merge_range_candidates",
+    "merge_stats",
+]
+
+#: stats counters where the cluster-level view is a maximum, not a sum
+_MAX_COUNTERS = frozenset(
+    {"max_level", "bucket_capacity", "kernel_workers"}
+)
+
+
+def merge_knn_candidates(
+    shard_payloads: list[tuple],
+    n_queries: int,
+    cand_size: int,
+    max_cells: int | None,
+) -> list[list[CandidateEntry]]:
+    """Merge per-shard kNN scatter payloads into final candidate sets.
+
+    ``shard_payloads`` holds ``(shard_index, uniques, per_query_groups)``
+    triples. Per query, the groups of every shard are interleaved by the
+    single-server visit key ``(promise, prefix)`` and the global
+    stopping rule is replayed over the merged stream; the collected
+    records then get the single-server final sort
+    ``(promise, score, oid)`` and trim. Duplicate oids across shards
+    (possible only mid-rebalance, when source and target briefly both
+    hold a range) are suppressed on first appearance.
+    """
+    results: list[list[CandidateEntry]] = []
+    for qi in range(n_queries):
+        tagged = []
+        for shard_index, uniques, queries in shard_payloads:
+            for group in queries[qi]:
+                tagged.append((group, shard_index, uniques))
+        tagged.sort(
+            key=lambda item: (item[0].promise, item[0].prefix, item[1])
+        )
+        collected: list[tuple[float, float, int, bytes]] = []
+        seen: set[int] = set()
+        cells_accessed = 0
+        for group, _shard_index, uniques in tagged:
+            if len(collected) >= cand_size:
+                break
+            if max_cells is not None and cells_accessed >= max_cells:
+                break
+            cells_accessed += 1
+            for position, score in zip(group.indices, group.scores):
+                entry = uniques[int(position)]
+                if entry.oid in seen:
+                    continue
+                seen.add(entry.oid)
+                collected.append(
+                    (group.promise, float(score), entry.oid, entry.payload)
+                )
+        collected.sort(key=lambda item: (item[0], item[1], item[2]))
+        results.append(
+            [
+                CandidateEntry(oid, payload)
+                for _promise, _score, oid, payload in collected[:cand_size]
+            ]
+        )
+    return results
+
+
+def merge_range_candidates(
+    shard_payloads: list[tuple], n_queries: int
+) -> list[list[CandidateEntry]]:
+    """Merge per-shard range scatter payloads into candidate sets.
+
+    Groups sort by ``(top_pivot, shard_index)`` — the single-server
+    candidate order is lexicographic leaf order, each top pivot's
+    leaves live on exactly one shard (ties only mid-rebalance), and
+    each shard emits its groups in its own leaf order — then
+    concatenate, suppressing duplicate oids.
+    """
+    results: list[list[CandidateEntry]] = []
+    for qi in range(n_queries):
+        tagged = []
+        for shard_index, uniques, queries in shard_payloads:
+            for group in queries[qi]:
+                tagged.append((group.top_pivot, shard_index, group, uniques))
+        tagged.sort(key=lambda item: (item[0], item[1]))
+        seen: set[int] = set()
+        candidates: list[CandidateEntry] = []
+        for _top_pivot, _shard_index, group, uniques in tagged:
+            for position in group.indices:
+                entry = uniques[int(position)]
+                if entry.oid in seen:
+                    continue
+                seen.add(entry.oid)
+                candidates.append(entry)
+        results.append(candidates)
+    return results
+
+
+def merge_stats(shard_stats: list[dict]) -> dict:
+    """Cluster-level view of per-shard ``stats`` maps: counters sum,
+    structural bounds (:data:`_MAX_COUNTERS`) take the maximum, and the
+    occupancy average is recomputed from the summed numerator and
+    denominator."""
+    merged: dict[str, float] = {}
+    for stats in shard_stats:
+        for key, value in stats.items():
+            if key in _MAX_COUNTERS:
+                current = merged.get(key)
+                merged[key] = (
+                    value if current is None else max(current, value)
+                )
+            else:
+                merged[key] = merged.get(key, 0.0) + value
+    if merged.get("occupied_cells"):
+        merged["avg_occupied_bucket"] = (
+            merged.get("records", 0.0) / merged["occupied_cells"]
+        )
+    return merged
+
+
+class _ClusterChannel:
+    """Channel-shaped accounting view summing every shard's channel."""
+
+    def __init__(self, router: "ShardRouter") -> None:
+        self._router = router
+
+    @property
+    def bytes_sent(self) -> int:
+        return sum(
+            rpc.channel.bytes_sent for rpc in self._router.shard_clients
+        )
+
+    @property
+    def bytes_received(self) -> int:
+        return sum(
+            rpc.channel.bytes_received for rpc in self._router.shard_clients
+        )
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_sent + self.bytes_received
+
+    @property
+    def communication_time(self) -> float:
+        return sum(
+            rpc.channel.communication_time
+            for rpc in self._router.shard_clients
+        )
+
+    @property
+    def requests(self) -> int:
+        return sum(
+            rpc.channel.requests for rpc in self._router.shard_clients
+        )
+
+    def reset_accounting(self) -> None:
+        for rpc in self._router.shard_clients:
+            rpc.channel.reset_accounting()
+
+
+class ShardRouter:
+    """Scatter–gather RPC front end over a shard set.
+
+    Parameters
+    ----------
+    shard_map:
+        The :class:`~repro.cluster.shard_map.ShardMap`; its shard count
+        must match ``channel_factories``.
+    channel_factories:
+        One zero-argument channel factory per shard (reconnects go
+        through the factory when resilient).
+    resilient:
+        When True (default) each shard gets its own
+        :class:`ResilientRpcClient` with a private breaker; when False,
+        plain :class:`RpcClient` instances over eagerly opened channels
+        (deterministic accounting for simulation tests).
+    policy:
+        Retry policy shared by the per-shard resilient clients.
+    breaker_factory:
+        Builds one :class:`CircuitBreaker` per shard; defaults to the
+        stock breaker. Breakers are never shared across shards.
+    allow_partial:
+        Degrade searches on shard loss (skip + count) instead of
+        raising :class:`ShardUnavailableError`. Mutations are always
+        strict.
+    key_seed:
+        Base idempotency-key seed; shard ``i`` derives a disjoint key
+        space from it so retried mutations never collide across shards.
+    sleep:
+        Sleep injected into the per-shard retry loops.
+    """
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        channel_factories: list[Callable],
+        *,
+        resilient: bool = True,
+        policy: RetryPolicy | None = None,
+        breaker_factory: Callable[[], CircuitBreaker] | None = None,
+        allow_partial: bool = False,
+        key_seed: int | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if len(channel_factories) != shard_map.n_shards:
+            raise ProtocolError(
+                f"shard map names {shard_map.n_shards} shards but "
+                f"{len(channel_factories)} channel factories were given"
+            )
+        self.shard_map = shard_map
+        self.allow_partial = allow_partial
+        #: scatters that skipped an unreachable shard (allow_partial)
+        self.shards_skipped = 0
+        self._count_lock = threading.Lock()
+        if resilient:
+            self.shard_clients = [
+                ResilientRpcClient(
+                    factory,
+                    policy=policy,
+                    breaker=(
+                        breaker_factory()
+                        if breaker_factory is not None
+                        else CircuitBreaker()
+                    ),
+                    sleep=sleep,
+                    key_seed=(
+                        None
+                        if key_seed is None
+                        else key_seed + (index << 32)
+                    ),
+                )
+                for index, factory in enumerate(channel_factories)
+            ]
+        else:
+            self.shard_clients = [
+                RpcClient(factory()) for factory in channel_factories
+            ]
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, len(self.shard_clients)),
+            thread_name_prefix="shard-router",
+        )
+        self._view = _ClusterChannel(self)
+        self._methods = {
+            "insert": self._call_insert,
+            "insert_bulk": self._call_insert_bulk,
+            "delete": self._call_delete,
+            "approx_knn": self._call_approx_knn,
+            "knn_batch": self._call_knn_batch,
+            "range": self._call_range,
+            "range_batch": self._call_range_batch,
+            "range_transformed": self._call_range_transformed,
+            "range_transformed_batch": self._call_range_transformed_batch,
+            "stats": self._call_stats,
+            "ping": self._call_ping,
+            "healthz": self._call_healthz,
+        }
+
+    # -- RpcClient surface -------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return self.shard_map.n_shards
+
+    @property
+    def channel(self) -> _ClusterChannel:
+        """Accounting view summing every shard channel."""
+        return self._view
+
+    @property
+    def server_time(self) -> float:
+        """Summed server-reported processing time across shards."""
+        return sum(rpc.server_time for rpc in self.shard_clients)
+
+    @property
+    def calls(self) -> int:
+        """Summed request/response exchanges across shards."""
+        return sum(rpc.calls for rpc in self.shard_clients)
+
+    @property
+    def retries_attempted(self) -> int:
+        return sum(
+            getattr(rpc, "retries_attempted", 0)
+            for rpc in self.shard_clients
+        )
+
+    @property
+    def reconnects(self) -> int:
+        return sum(
+            getattr(rpc, "reconnects", 0) for rpc in self.shard_clients
+        )
+
+    def reset_accounting(self) -> None:
+        """Zero every shard client's counters and the skip counter."""
+        for rpc in self.shard_clients:
+            rpc.reset_accounting()
+        with self._count_lock:
+            self.shards_skipped = 0
+
+    def close(self) -> None:
+        """Shut the fan-out pool and every shard connection down."""
+        self._pool.shutdown(wait=True)
+        for rpc in self.shard_clients:
+            close = getattr(rpc, "close", None)
+            if close is not None:
+                close()
+            else:
+                channel_close = getattr(rpc.channel, "close", None)
+                if channel_close is not None:
+                    channel_close()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def call(
+        self,
+        method: str,
+        body: "Writer | bytes" = b"",
+        *,
+        deadline: float | None = None,
+        idempotency_key: int | None = None,
+    ) -> Reader:
+        """Route ``method`` across the cluster; the response Reader is
+        byte-compatible with the single-server response.
+
+        ``idempotency_key`` is accepted for interface compatibility but
+        ignored: each per-shard resilient client generates its own keys
+        (a caller-supplied key must not be replayed to several shards —
+        their dedup caches are independent, but the *sub-requests*
+        differ per shard).
+        """
+        handler = self._methods.get(method)
+        if handler is None:
+            raise ProtocolError(
+                f"method {method!r} is not routable across shards"
+            )
+        data = body.getvalue() if isinstance(body, Writer) else bytes(body)
+        return handler(data, deadline)
+
+    # -- fan-out machinery -------------------------------------------------
+
+    def _scatter(
+        self,
+        method: str,
+        per_shard: "dict[int, bytes] | bytes",
+        deadline: float | None,
+        *,
+        strict: bool,
+    ) -> list[tuple[int, Reader]]:
+        """Send to many shards concurrently; responses in shard order.
+
+        ``per_shard`` is either one body broadcast to every shard or an
+        explicit ``{shard: body}`` mapping. Unreachable shards raise
+        :class:`ShardUnavailableError` when ``strict`` (or whenever the
+        router is not ``allow_partial``); otherwise they are skipped
+        and counted. Deadline expiry always propagates — the budget is
+        spent, a partial answer would not make it back in time anyway.
+        """
+        if isinstance(per_shard, dict):
+            targets = [(shard, body) for shard, body in per_shard.items()]
+        else:
+            targets = [
+                (shard, per_shard)
+                for shard in range(len(self.shard_clients))
+            ]
+        futures = [
+            (
+                shard,
+                self._pool.submit(
+                    self.shard_clients[shard].call,
+                    method,
+                    body,
+                    deadline=deadline,
+                ),
+            )
+            for shard, body in targets
+        ]
+        responses: list[tuple[int, Reader]] = []
+        for shard, future in futures:
+            try:
+                responses.append((shard, future.result()))
+            except DeadlineExceededError:
+                raise
+            except ChannelError as exc:
+                if strict or not self.allow_partial:
+                    raise ShardUnavailableError(
+                        f"shard {shard} unavailable for {method!r}: {exc}",
+                        shard=shard,
+                    ) from exc
+                with self._count_lock:
+                    self.shards_skipped += 1
+        return responses
+
+    # -- mutations ----------------------------------------------------------
+
+    def _call_insert(self, data: bytes, deadline: float | None) -> Reader:
+        reader = Reader(data)
+        count = reader.u32()
+        records = [IndexedRecord.read_from(reader) for _ in range(count)]
+        reader.expect_end()
+        groups: dict[int, list[IndexedRecord]] = {
+            shard: [] for shard in range(self.n_shards)
+        }
+        for record in records:
+            shard = self.shard_map.shard_of(
+                int(record.ensure_permutation()[0])
+            )
+            groups[shard].append(record)
+        per_shard: dict[int, bytes] = {}
+        for shard, group in groups.items():
+            writer = Writer()
+            writer.u32(len(group))
+            for record in group:
+                record.write_to(writer)
+            per_shard[shard] = writer.getvalue()
+        # every shard answers with its record count, so the summed
+        # response equals the single server's post-insert total
+        responses = self._scatter(
+            "insert", per_shard, deadline, strict=True
+        )
+        total = sum(response.u64() for _shard, response in responses)
+        return Reader(Writer().u64(total).getvalue())
+
+    def _call_insert_bulk(
+        self, data: bytes, deadline: float | None
+    ) -> Reader:
+        reader = Reader(data)
+        batch = RecordBatch.read_from(reader)
+        reader.expect_end()
+        if batch.permutations is not None:
+            tops = batch.permutations[:, 0].astype(np.int64)
+        else:
+            # under the precise/transformed strategies only distances
+            # travel; the top pivot is the argmin of each row (stable
+            # first-minimum, matching pivot_permutations' tie-break —
+            # and preserved by the monotone OPE transform)
+            tops = np.argmin(batch.distances, axis=1).astype(np.int64)
+        per_shard: dict[int, bytes] = {}
+        for shard, rows in enumerate(self.shard_map.split_rows(tops)):
+            sub_batch = RecordBatch(
+                batch.oids[rows],
+                None
+                if batch.permutations is None
+                else batch.permutations[rows],
+                None if batch.distances is None else batch.distances[rows],
+                [batch.payloads[int(row)] for row in rows],
+            )
+            writer = Writer()
+            sub_batch.write_to(writer)
+            per_shard[shard] = writer.getvalue()
+        responses = self._scatter(
+            "insert_bulk", per_shard, deadline, strict=True
+        )
+        total = sum(response.u64() for _shard, response in responses)
+        return Reader(Writer().u64(total).getvalue())
+
+    def _call_delete(self, data: bytes, deadline: float | None) -> Reader:
+        reader = Reader(data)
+        record = IndexedRecord.read_from(reader)
+        reader.expect_end()
+        shard = self.shard_map.shard_of(
+            int(record.ensure_permutation()[0])
+        )
+        responses = self._scatter(
+            "delete", {shard: data}, deadline, strict=True
+        )
+        return responses[0][1]
+
+    # -- searches -----------------------------------------------------------
+
+    def _knn_gather(
+        self,
+        scatter_body: bytes,
+        n_queries: int,
+        cand_size: int,
+        max_cells: int | None,
+        deadline: float | None,
+    ) -> list[list[CandidateEntry]]:
+        responses = self._scatter(
+            "knn_scatter", scatter_body, deadline, strict=False
+        )
+        payloads = [
+            (shard, *read_knn_scatter_response(response))
+            for shard, response in responses
+        ]
+        return merge_knn_candidates(
+            payloads, n_queries, cand_size, max_cells
+        )
+
+    def _call_knn_batch(
+        self, data: bytes, deadline: float | None
+    ) -> Reader:
+        reader = Reader(data)
+        permutations = reader.i32_matrix()
+        cand_size = reader.u32()
+        max_cells = reader.u32()
+        reader.expect_end()
+        merged = self._knn_gather(
+            data,
+            permutations.shape[0],
+            cand_size,
+            max_cells if max_cells > 0 else None,
+            deadline,
+        )
+        return Reader(write_candidate_lists(merged).getvalue())
+
+    def _call_approx_knn(
+        self, data: bytes, deadline: float | None
+    ) -> Reader:
+        reader = Reader(data)
+        permutation = reader.i32_array()
+        cand_size = reader.u32()
+        max_cells = reader.u32()
+        reader.expect_end()
+        scatter_body = (
+            Writer()
+            .i32_matrix(permutation[np.newaxis, :])
+            .u32(cand_size)
+            .u32(max_cells)
+            .getvalue()
+        )
+        merged = self._knn_gather(
+            scatter_body,
+            1,
+            cand_size,
+            max_cells if max_cells > 0 else None,
+            deadline,
+        )
+        return Reader(write_candidates(merged[0]).getvalue())
+
+    def _range_gather(
+        self,
+        method: str,
+        scatter_body: bytes,
+        n_queries: int,
+        deadline: float | None,
+    ) -> list[list[CandidateEntry]]:
+        responses = self._scatter(
+            method, scatter_body, deadline, strict=False
+        )
+        payloads = [
+            (shard, *read_range_scatter_response(response))
+            for shard, response in responses
+        ]
+        return merge_range_candidates(payloads, n_queries)
+
+    def _call_range_batch(
+        self, data: bytes, deadline: float | None
+    ) -> Reader:
+        reader = Reader(data)
+        distances = reader.f64_matrix()
+        reader.f64()  # radius; validated by the shards
+        reader.expect_end()
+        merged = self._range_gather(
+            "range_scatter", data, distances.shape[0], deadline
+        )
+        return Reader(write_candidate_lists(merged).getvalue())
+
+    def _call_range(self, data: bytes, deadline: float | None) -> Reader:
+        reader = Reader(data)
+        distances = reader.f64_array()
+        radius = reader.f64()
+        reader.expect_end()
+        scatter_body = (
+            Writer()
+            .f64_matrix(distances[np.newaxis, :])
+            .f64(radius)
+            .getvalue()
+        )
+        merged = self._range_gather(
+            "range_scatter", scatter_body, 1, deadline
+        )
+        return Reader(write_candidates(merged[0]).getvalue())
+
+    def _call_range_transformed_batch(
+        self, data: bytes, deadline: float | None
+    ) -> Reader:
+        reader = Reader(data)
+        lows = reader.f64_matrix()
+        reader.f64_matrix()  # highs; validated by the shards
+        reader.expect_end()
+        merged = self._range_gather(
+            "range_transformed_scatter", data, lows.shape[0], deadline
+        )
+        return Reader(write_candidate_lists(merged).getvalue())
+
+    def _call_range_transformed(
+        self, data: bytes, deadline: float | None
+    ) -> Reader:
+        reader = Reader(data)
+        lows = reader.f64_array()
+        highs = reader.f64_array()
+        reader.expect_end()
+        scatter_body = (
+            Writer()
+            .f64_matrix(lows[np.newaxis, :])
+            .f64_matrix(highs[np.newaxis, :])
+            .getvalue()
+        )
+        merged = self._range_gather(
+            "range_transformed_scatter", scatter_body, 1, deadline
+        )
+        return Reader(write_candidates(merged[0]).getvalue())
+
+    # -- diagnostics ---------------------------------------------------------
+
+    def _call_stats(self, data: bytes, deadline: float | None) -> Reader:
+        Reader(data).expect_end()
+        per_shard, merged = self.cluster_stats(deadline=deadline)
+        del per_shard
+        return Reader(write_stats_map(merged).getvalue())
+
+    def cluster_stats(
+        self, *, deadline: float | None = None
+    ) -> tuple[dict[int, dict], dict]:
+        """Per-shard and cluster-summed counter views.
+
+        Returns ``({shard: stats}, merged)`` where ``merged`` sums
+        every counter (maxima for structural bounds), recomputes the
+        occupancy average, and adds ``shards`` (responding shard count)
+        plus the router-side ``shards_skipped``.
+        """
+        responses = self._scatter("stats", b"", deadline, strict=False)
+        per_shard = {
+            shard: read_stats_map(response)
+            for shard, response in responses
+        }
+        merged = merge_stats(list(per_shard.values()))
+        merged["shards"] = float(len(per_shard))
+        with self._count_lock:
+            merged["shards_skipped"] = float(self.shards_skipped)
+        return per_shard, merged
+
+    def _call_ping(self, data: bytes, deadline: float | None) -> Reader:
+        Reader(data).expect_end()
+        responses = self._scatter("ping", b"", deadline, strict=False)
+        for _shard, response in responses:
+            if response.string() != "pong":
+                raise ProtocolError("unexpected ping response from shard")
+        return Reader(Writer().string("pong").getvalue())
+
+    def _call_healthz(self, data: bytes, deadline: float | None) -> Reader:
+        Reader(data).expect_end()
+        responses = self._scatter("healthz", b"", deadline, strict=False)
+        draining = False
+        records = 0
+        for _shard, response in responses:
+            if response.string() == "draining":
+                draining = True
+            records += response.u64()
+        writer = Writer()
+        writer.string("draining" if draining else "ok")
+        writer.u64(records)
+        return Reader(writer.getvalue())
+
+    # -- rebalance ----------------------------------------------------------
+
+    def rebalance(
+        self,
+        pivots,
+        target: int,
+        *,
+        deadline: float | None = None,
+    ) -> int:
+        """Move the given top-level pivots to shard ``target``.
+
+        Copy-before-delete per source shard: export the range (the
+        export body replays verbatim as an ``insert``), land it on the
+        target, then drop it from the source and update the shard map.
+        A failure leaves at worst a duplicated range — the merges
+        suppress duplicate oids — never a lost one. Returns the number
+        of records moved. All involved shards must be reachable
+        (rebalance is a mutation: never partial).
+        """
+        if not 0 <= target < self.n_shards:
+            raise ProtocolError(
+                f"shard {target} outside 0..{self.n_shards - 1}"
+            )
+        by_source: dict[int, list[int]] = {}
+        for pivot in sorted({int(p) for p in pivots}):
+            source = self.shard_map.shard_of(pivot)
+            if source != target:
+                by_source.setdefault(source, []).append(pivot)
+        moved = 0
+        for source, group in sorted(by_source.items()):
+            pivot_body = (
+                Writer()
+                .i32_array(np.asarray(group, dtype=np.int32))
+                .getvalue()
+            )
+            try:
+                exported = self.shard_clients[source].call(
+                    "export_cells", pivot_body, deadline=deadline
+                )
+                count = exported.u32()
+                records = [
+                    IndexedRecord.read_from(exported) for _ in range(count)
+                ]
+                exported.expect_end()
+                insert_writer = Writer()
+                insert_writer.u32(count)
+                for record in records:
+                    record.write_to(insert_writer)
+                self.shard_clients[target].call(
+                    "insert", insert_writer.getvalue(), deadline=deadline
+                )
+                self.shard_clients[source].call(
+                    "drop_cells", pivot_body, deadline=deadline
+                )
+            except DeadlineExceededError:
+                raise
+            except ChannelError as exc:
+                raise ShardUnavailableError(
+                    f"rebalance of pivots {group} from shard {source} to "
+                    f"{target} failed: {exc}",
+                    shard=source,
+                ) from exc
+            self.shard_map = self.shard_map.moved(group, target)
+            moved += count
+        return moved
+
+    # -- cluster-wide diagnostics -------------------------------------------
+
+    def dump_cells(
+        self, *, deadline: float | None = None
+    ) -> dict[tuple[int, ...], list[tuple[int, bytes]]]:
+        """Union of every shard's cell-tree contents (strict read).
+
+        For equivalence checks: with every shard root split, this
+        equals the single-server dump for the same records.
+        """
+        from repro.wire.scatter import read_cell_dump
+
+        responses = self._scatter("dump_cells", b"", deadline, strict=True)
+        cells: dict[tuple[int, ...], list[tuple[int, bytes]]] = {}
+        for _shard, response in responses:
+            for prefix, records in read_cell_dump(response).items():
+                cells.setdefault(prefix, []).extend(records)
+        return cells

@@ -1,0 +1,164 @@
+"""Deterministic partitioning of the cell tree across shards.
+
+A :class:`ShardMap` assigns every *top-level pivot* — the first element
+of a record's pivot permutation, i.e. its nearest pivot — to one shard.
+That is exactly the routing key :meth:`MIndex.bulk_insert` lexsorts on
+first, so a prefix-partitioned shard holds a *contiguous subtree* of the
+global cell tree: every leaf whose prefix starts with one of its pivots.
+
+Two properties make this partitioning scatter–gather friendly:
+
+* **Tree equivalence.** Each top-level subtree ``(p, ...)`` depends only
+  on the records whose permutation starts with ``p`` and on the bucket
+  capacity (splits are order-independent), so as long as every shard's
+  root has split, the union of the shards' cell trees *is* the
+  single-server cell tree — cell for cell, record for record.
+* **Contiguous visit order.** The single-server leaf order (lexicographic
+  by prefix) visits each top pivot's leaves consecutively, so a router
+  can reassemble the global order from per-shard streams by sorting on
+  the top pivot alone.
+
+The map is plain data — shipped with :mod:`repro.wire.scatter`'s codec —
+and every operation is deterministic, so any client that knows
+``(n_pivots, n_shards)`` computes the identical default map.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ProtocolError
+from repro.wire.encoding import Reader
+from repro.wire.scatter import read_shard_map, write_shard_map
+
+__all__ = ["ShardMap"]
+
+
+class ShardMap:
+    """Immutable pivot→shard assignment.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of shards in the cluster (shards may own zero pivots
+        after a rebalance moved their range away).
+    assignment:
+        Sequence of length ``n_pivots``; element ``p`` names the shard
+        owning top-level pivot ``p``.
+    """
+
+    __slots__ = ("n_shards", "assignment")
+
+    def __init__(self, n_shards: int, assignment) -> None:
+        array = np.asarray(assignment, dtype=np.int64)
+        if n_shards <= 0:
+            raise ProtocolError(
+                f"shard count must be positive, got {n_shards}"
+            )
+        if array.ndim != 1 or array.shape[0] == 0:
+            raise ProtocolError(
+                f"assignment must be a non-empty vector, got shape "
+                f"{array.shape}"
+            )
+        if array.min() < 0 or array.max() >= n_shards:
+            raise ProtocolError(
+                f"assignment references shards outside 0..{n_shards - 1}"
+            )
+        array.setflags(write=False)
+        self.n_shards = int(n_shards)
+        self.assignment = array
+
+    @classmethod
+    def uniform(cls, n_pivots: int, n_shards: int) -> "ShardMap":
+        """The canonical map: ``n_pivots`` split into ``n_shards``
+        contiguous, near-equal pivot blocks (shard ``s`` owns pivots
+        ``p`` with ``p * n_shards // n_pivots == s``)."""
+        if not 1 <= n_shards <= n_pivots:
+            raise ProtocolError(
+                f"need 1 <= n_shards <= n_pivots, got {n_shards} shards "
+                f"over {n_pivots} pivots"
+            )
+        pivots = np.arange(n_pivots, dtype=np.int64)
+        return cls(n_shards, pivots * n_shards // n_pivots)
+
+    @property
+    def n_pivots(self) -> int:
+        """Number of top-level pivots the map covers."""
+        return int(self.assignment.shape[0])
+
+    def shard_of(self, pivot: int) -> int:
+        """The shard owning top-level pivot ``pivot``."""
+        if not 0 <= pivot < self.n_pivots:
+            raise ProtocolError(
+                f"pivot {pivot} outside 0..{self.n_pivots - 1}"
+            )
+        return int(self.assignment[pivot])
+
+    def pivots_of(self, shard: int) -> tuple[int, ...]:
+        """All pivots owned by ``shard``, ascending."""
+        if not 0 <= shard < self.n_shards:
+            raise ProtocolError(
+                f"shard {shard} outside 0..{self.n_shards - 1}"
+            )
+        return tuple(
+            int(p) for p in np.flatnonzero(self.assignment == shard)
+        )
+
+    def split_rows(self, top_pivots: np.ndarray) -> list[np.ndarray]:
+        """Partition batch rows by owning shard.
+
+        ``top_pivots[i]`` is row ``i``'s top-level pivot; the result has
+        one ascending index array per shard (possibly empty), so a
+        router can slice a columnar batch into per-shard sub-batches
+        without reordering rows.
+        """
+        tops = np.asarray(top_pivots, dtype=np.int64)
+        if tops.size and (tops.min() < 0 or tops.max() >= self.n_pivots):
+            raise ProtocolError(
+                f"top pivots outside 0..{self.n_pivots - 1}"
+            )
+        owners = self.assignment[tops]
+        return [
+            np.flatnonzero(owners == shard)
+            for shard in range(self.n_shards)
+        ]
+
+    def moved(self, pivots, target: int) -> "ShardMap":
+        """A new map with ``pivots`` reassigned to shard ``target``."""
+        if not 0 <= target < self.n_shards:
+            raise ProtocolError(
+                f"shard {target} outside 0..{self.n_shards - 1}"
+            )
+        assignment = np.array(self.assignment)
+        for pivot in pivots:
+            if not 0 <= int(pivot) < self.n_pivots:
+                raise ProtocolError(
+                    f"pivot {pivot} outside 0..{self.n_pivots - 1}"
+                )
+            assignment[int(pivot)] = target
+        return ShardMap(self.n_shards, assignment)
+
+    def to_bytes(self) -> bytes:
+        """Wire encoding (see :mod:`repro.wire.scatter`)."""
+        return write_shard_map(self.n_shards, self.assignment).getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ShardMap":
+        """Decode a map written by :meth:`to_bytes`."""
+        reader = Reader(data)
+        n_shards, assignment = read_shard_map(reader)
+        reader.expect_end()
+        return cls(n_shards, assignment)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ShardMap)
+            and self.n_shards == other.n_shards
+            and np.array_equal(self.assignment, other.assignment)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardMap(n_shards={self.n_shards}, "
+            f"n_pivots={self.n_pivots})"
+        )

@@ -54,6 +54,7 @@ from repro.core.costs import (
     ENCRYPTION,
     RECONNECTS,
     RETRIES_ATTEMPTED,
+    SHARDS_SKIPPED,
     CostRecorder,
     CostReport,
 )
@@ -728,8 +729,9 @@ class EncryptedClient:
             CACHE_HITS: self.costs.count(CACHE_HITS),
             CACHE_MISSES: self.costs.count(CACHE_MISSES),
         }
-        # a resilient RPC layer surfaces its retry/reconnect work
-        for counter in (RETRIES_ATTEMPTED, RECONNECTS):
+        # a resilient RPC layer surfaces its retry/reconnect work; a
+        # shard router additionally counts degraded (partial) scatters
+        for counter in (RETRIES_ATTEMPTED, RECONNECTS, SHARDS_SKIPPED):
             value = getattr(self.rpc, counter, None)
             if value is not None:
                 extras[counter] = value

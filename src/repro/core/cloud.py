@@ -46,7 +46,7 @@ class SimilarityCloud:
 
     def __init__(
         self,
-        server: SimilarityCloudServer,
+        server: SimilarityCloudServer | None,
         owner: DataOwner,
         *,
         distance: Distance,
@@ -54,9 +54,11 @@ class SimilarityCloud:
         latency: float,
         bandwidth: float | None,
         tcp_server: TcpServer | AsyncTcpServer | None = None,
+        cluster=None,
     ) -> None:
         self.server = server
         self.owner = owner
+        self.cluster = cluster
         self._distance = distance
         self._dimension = dimension
         self._latency = latency
@@ -80,6 +82,7 @@ class SimilarityCloud:
         use_tcp: bool = False,
         transport: str | None = None,
         pivot_strategy: str = "random",
+        shards: int = 1,
     ) -> "SimilarityCloud":
         """Build a server and a data owner over a fresh channel.
 
@@ -91,6 +94,12 @@ class SimilarityCloud:
         older ``use_tcp=True``), or ``"tcp-async"`` (the pipelined
         asyncio server; every client channel multiplexes requests with
         correlation ids over one socket).
+
+        ``shards`` > 1 stands up a :class:`~repro.cluster.deploy.\
+LocalShardCluster` instead of one server: the cell tree partitions by
+        top-level pivot, every client becomes a scatter–gather
+        :class:`~repro.cluster.router.ShardRouter`, and results stay
+        bit-identical to the single-server deployment.
         """
         if transport is None:
             transport = "tcp" if use_tcp else "inprocess"
@@ -99,16 +108,39 @@ class SimilarityCloud:
                 f"unknown transport {transport!r}; choose from "
                 f"{', '.join(TRANSPORTS)}"
             )
+        if shards < 1:
+            raise ChannelError(f"shard count must be >= 1, got {shards}")
         data = np.asarray(data, dtype=np.float64)
         dimension = data.shape[1]
-        server = SimilarityCloudServer(
-            n_pivots, bucket_capacity, storage=storage, max_level=max_level
-        )
+        server: SimilarityCloudServer | None = None
+        cluster = None
         tcp_server: TcpServer | AsyncTcpServer | None = None
-        if transport == "tcp":
-            tcp_server = server.serve_tcp()
-        elif transport == "tcp-async":
-            tcp_server = server.serve_async()
+        if shards == 1:
+            server = SimilarityCloudServer(
+                n_pivots, bucket_capacity, storage=storage, max_level=max_level
+            )
+            if transport == "tcp":
+                tcp_server = server.serve_tcp()
+            elif transport == "tcp-async":
+                tcp_server = server.serve_async()
+        else:
+            if storage is not None:
+                raise ChannelError(
+                    "a sharded deployment needs one storage backend per "
+                    "shard; pass storage_factory to LocalShardCluster "
+                    "directly instead of a single storage here"
+                )
+            from repro.cluster.deploy import LocalShardCluster
+
+            cluster = LocalShardCluster(
+                n_pivots,
+                bucket_capacity,
+                n_shards=shards,
+                max_level=max_level,
+                transport=transport,
+                latency=latency,
+                bandwidth=bandwidth,
+            )
         rng = np.random.default_rng(seed) if seed is not None else None
         owner_space = MetricSpace(distance, dimension)
         key = SecretKey.generate(
@@ -126,6 +158,7 @@ class SimilarityCloud:
             latency=latency,
             bandwidth=bandwidth,
             tcp_server=tcp_server,
+            cluster=cluster,
         )
         rpc = cloud._new_rpc()
         cloud.owner = DataOwner(key, owner_space, rpc, strategy=strategy)
@@ -134,6 +167,12 @@ class SimilarityCloud:
     # -- channel/client factories -----------------------------------------
 
     def _new_channel(self) -> Channel:
+        if self.cluster is not None:
+            raise ChannelError(
+                "a sharded cloud has no single channel; clients route "
+                "through a ShardRouter (use new_client / "
+                "new_resilient_client)"
+            )
         if self._tcp_server is not None:
             return self._tcp_server.connect()
         return InProcessChannel(
@@ -142,7 +181,11 @@ class SimilarityCloud:
             bandwidth=self._bandwidth,
         )
 
-    def _new_rpc(self) -> RpcClient:
+    def _new_rpc(self):
+        if self.cluster is not None:
+            # a plain (non-resilient) router keeps the deterministic
+            # accounting of RpcClient while fanning out across shards
+            return self.cluster.router(resilient=False)
         return RpcClient(self._new_channel())
 
     def new_client(
@@ -193,12 +236,23 @@ class SimilarityCloud:
         """
         key = secret_key if secret_key is not None else self.owner.authorize()
         space = MetricSpace(self._distance, self._dimension)
-        rpc = ResilientRpcClient(
-            self._new_channel,
-            policy=policy,
-            breaker=breaker,
-            key_seed=key_seed,
-        )
+        if self.cluster is not None:
+            if breaker is not None:
+                raise ChannelError(
+                    "a sharded cloud gives every shard its own circuit "
+                    "breaker; pass breaker_factory to cluster.router() "
+                    "instead of a single shared breaker"
+                )
+            rpc = self.cluster.router(
+                resilient=True, policy=policy, key_seed=key_seed
+            )
+        else:
+            rpc = ResilientRpcClient(
+                self._new_channel,
+                policy=policy,
+                breaker=breaker,
+                key_seed=key_seed,
+            )
         return EncryptedClient(
             key,
             space,
@@ -215,6 +269,8 @@ class SimilarityCloud:
         flushes the storage backend — no acknowledged write is lost.
         Returns whether everything drained within ``timeout``.
         """
+        if self.cluster is not None:
+            return self.cluster.drain(timeout)
         return self.server.drain(timeout)
 
     def close(self) -> None:
@@ -223,6 +279,9 @@ class SimilarityCloud:
         if self._tcp_server is not None:
             self._tcp_server.shutdown()
             self._tcp_server = None
+        if self.cluster is not None:
+            self.cluster.close()
+            return
         self.server.close()
 
     def __enter__(self) -> "SimilarityCloud":

@@ -39,6 +39,7 @@ __all__ = [
     "KERNEL_TASKS",
     "KERNEL_PARALLEL_BATCHES",
     "KERNEL_WORKERS",
+    "SHARDS_SKIPPED",
     "CostRecorder",
     "CostReport",
     "CostTimer",
@@ -92,6 +93,13 @@ IDEMPOTENT_DEDUP_HITS = "idempotent_dedup_hits"
 KERNEL_TASKS = "kernel_tasks"
 KERNEL_PARALLEL_BATCHES = "kernel_parallel_batches"
 KERNEL_WORKERS = "kernel_workers"
+
+#: canonical counter name of the shard router's graceful degradation.
+#: In ``allow_partial`` mode a scatter that cannot reach a shard skips
+#: it (the affected prefix range goes dark instead of failing the whole
+#: batch); every skip increments this counter, surfaced in the client
+#: report extras so degraded answers are always visibly degraded.
+SHARDS_SKIPPED = "shards_skipped"
 
 
 class CostRecorder:

@@ -34,6 +34,21 @@ The server exposes these RPC methods:
     promise kernel, and the response deduplicates candidates that occur
     in several queries' sets — each unique (oid, payload) travels once,
     followed by per-query index lists in rank order.
+``knn_scatter`` / ``range_scatter`` / ``range_transformed_scatter``
+    Shard-local forms of the batched searches for the scatter–gather
+    cluster (request bodies identical to their ``*_batch``
+    counterparts): instead of final candidate sets they return the
+    visited per-leaf candidate groups tagged with the global ordering
+    keys, so the client-side
+    :class:`~repro.cluster.router.ShardRouter` can interleave the
+    groups of every shard, replay the stopping rule, and reproduce the
+    single-server answer bit for bit.
+``export_cells`` / ``drop_cells`` / ``dump_cells``
+    Rebalance and diagnostics surface: ``export_cells`` returns every
+    record of a set of top-level pivots in the ``insert`` request
+    format (so a rebalance replays it verbatim on the receiving
+    shard), ``drop_cells`` removes them, and ``dump_cells``
+    fingerprints cell-tree contents for equivalence benches.
 ``search_batch``
     Generic batching (``RpcDispatcher.enable_batch``): many request
     bodies for one inner method, fanned out over a thread pool.
@@ -56,7 +71,7 @@ observe a half-split cell tree.
 from __future__ import annotations
 
 from repro.core.locks import ReadWriteLock
-from repro.core.records import CandidateEntry, IndexedRecord, RecordBatch
+from repro.core.records import IndexedRecord, RecordBatch
 from repro.exceptions import QueryError
 from repro.mindex.index import MIndex
 from repro.net.clock import Clock
@@ -64,6 +79,14 @@ from repro.net.rpc import RpcDispatcher
 from repro.parallel.scheduler import GLOBAL_STATS
 from repro.storage.memory import MemoryStorage
 from repro.wire.encoding import Reader, Writer
+from repro.wire.scatter import (
+    write_candidate_lists as _write_candidate_lists,
+    write_candidates as _write_candidates,
+    write_cell_dump,
+    write_knn_scatter_response,
+    write_range_scatter_response,
+    write_stats_map,
+)
 
 __all__ = ["SimilarityCloudServer"]
 
@@ -118,6 +141,15 @@ class SimilarityCloudServer:
         self.dispatcher.register(
             "range_transformed_batch", self._handle_range_transformed_batch
         )
+        self.dispatcher.register("knn_scatter", self._handle_knn_scatter)
+        self.dispatcher.register("range_scatter", self._handle_range_scatter)
+        self.dispatcher.register(
+            "range_transformed_scatter",
+            self._handle_range_transformed_scatter,
+        )
+        self.dispatcher.register("export_cells", self._handle_export_cells)
+        self.dispatcher.register("drop_cells", self._handle_drop_cells)
+        self.dispatcher.register("dump_cells", self._handle_dump_cells)
         self.dispatcher.register("stats", self._handle_stats)
         self.dispatcher.register("ping", self._handle_ping)
         self.dispatcher.register("healthz", self._handle_healthz)
@@ -307,6 +339,73 @@ class SimilarityCloudServer:
             )
         return _write_candidate_lists(candidate_lists)
 
+    def _handle_knn_scatter(self, body: Reader) -> Writer:
+        permutations = body.i32_matrix()
+        cand_size = body.u32()
+        max_cells = body.u32()
+        body.expect_end()
+        if cand_size == 0:
+            raise QueryError("cand_size must be positive")
+        with self._lock.read():
+            query_groups = self.index.approx_knn_scatter_batch(
+                permutations,
+                cand_size,
+                max_cells=max_cells if max_cells > 0 else None,
+            )
+        return write_knn_scatter_response(query_groups)
+
+    def _handle_range_scatter(self, body: Reader) -> Writer:
+        distances = body.f64_matrix()
+        radius = body.f64()
+        body.expect_end()
+        with self._lock.read():
+            query_groups = self.index.range_scatter_batch(distances, radius)
+        return write_range_scatter_response(query_groups)
+
+    def _handle_range_transformed_scatter(self, body: Reader) -> Writer:
+        lows = body.f64_matrix()
+        highs = body.f64_matrix()
+        body.expect_end()
+        with self._lock.read():
+            query_groups = self.index.range_transformed_scatter_batch(
+                lows, highs
+            )
+        return write_range_scatter_response(query_groups)
+
+    def _handle_export_cells(self, body: Reader) -> Writer:
+        pivots = body.i32_array()
+        body.expect_end()
+        with self._lock.read():
+            records = self.index.export_top_pivots(
+                {int(pivot) for pivot in pivots}
+            )
+        # response body == the ``insert`` request body, so a rebalance
+        # replays the export verbatim on the receiving shard
+        writer = Writer()
+        writer.u32(len(records))
+        for record in records:
+            record.write_to(writer)
+        return writer
+
+    def _handle_drop_cells(self, body: Reader) -> Writer:
+        pivots = body.i32_array()
+        body.expect_end()
+        with self._lock.write():
+            removed = self.index.drop_top_pivots(
+                {int(pivot) for pivot in pivots}
+            )
+            return Writer().u64(removed)
+
+    def _handle_dump_cells(self, body: Reader) -> Writer:
+        body.expect_end()
+        with self._lock.read():
+            cells = [
+                (leaf.prefix, self.index.storage.load(leaf.prefix))
+                for leaf in self.index.tree.leaves()
+                if leaf.count > 0
+            ]
+        return write_cell_dump(cells)
+
     def _handle_stats(self, body: Reader) -> Writer:
         body.expect_end()
         with self._lock.read():
@@ -341,12 +440,7 @@ class SimilarityCloudServer:
             # kernel scheduler counters (process-global: one scheduler
             # serves every kernel in this process)
             stats.update(GLOBAL_STATS.snapshot())
-        writer = Writer()
-        writer.u32(len(stats))
-        for key, value in sorted(stats.items()):
-            writer.string(key)
-            writer.f64(float(value))
-        return writer
+        return write_stats_map(stats)
 
 
     def _handle_ping(self, body: Reader) -> Writer:
@@ -363,44 +457,3 @@ class SimilarityCloudServer:
         return writer
 
 
-def _write_candidates(candidates: list[IndexedRecord]) -> Writer:
-    """Encode a candidate set: only oid + opaque payload go back."""
-    writer = Writer()
-    writer.u32(len(candidates))
-    for record in candidates:
-        CandidateEntry(record.oid, record.payload).write_to(writer)
-    return writer
-
-
-def _write_candidate_lists(
-    candidate_lists: list[list[IndexedRecord]],
-) -> Writer:
-    """Encode a batch of candidate sets with cross-query deduplication.
-
-    Candidate sets of a batch overlap heavily (nearby queries visit the
-    same cells), so each unique (oid, payload) travels once; every query
-    then gets a list of indices into that table, in its rank order. The
-    client decrypts the unique table once instead of once per query.
-    """
-    writer = Writer()
-    order: dict[int, int] = {}
-    uniques: list[IndexedRecord] = []
-    index_lists: list[list[int]] = []
-    for records in candidate_lists:
-        indices: list[int] = []
-        for record in records:
-            position = order.get(record.oid)
-            if position is None:
-                position = len(uniques)
-                order[record.oid] = position
-                uniques.append(record)
-            indices.append(position)
-        index_lists.append(indices)
-    writer.u32(len(uniques))
-    for record in uniques:
-        writer.u64(record.oid)
-        writer.blob(record.payload)
-    writer.u32(len(index_lists))
-    for indices in index_lists:
-        writer.i32_array(indices)
-    return writer

@@ -111,6 +111,24 @@ class CircuitOpenError(ChannelError):
     """
 
 
+class ShardUnavailableError(ChannelError):
+    """A cluster shard could not be reached (retries exhausted or its
+    circuit breaker is open).
+
+    Raised by the shard router when a shard holding part of the queried
+    prefix range is down. In strict mode (the default) the whole
+    scatter fails with this error; with ``allow_partial`` the router
+    skips the shard, serves the surviving prefix ranges, and counts the
+    degradation in ``shards_skipped``. The underlying failure is
+    chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, shard: int | None = None) -> None:
+        super().__init__(message)
+        #: index of the unreachable shard in the shard map
+        self.shard = shard
+
+
 class QueryError(ReproError):
     """A similarity query was malformed (e.g. negative radius, k < 1)."""
 

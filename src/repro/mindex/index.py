@@ -373,22 +373,8 @@ class MIndex:
         if radius < 0:
             raise QueryError(f"radius must be >= 0, got {radius}")
         stats = stats if stats is not None else RangeSearchStats()
-        order = np.argsort(q, kind="stable")
-        candidates: list[IndexedRecord] = []
-        for leaf in self.tree.leaves():
-            stats.cells_examined += 1
-            if self._double_pivot_bound(q, order, leaf.prefix) > radius:
-                stats.cells_pruned_double_pivot += 1
-                continue
-            if self._range_pivot_bound(q, leaf) > radius:
-                stats.cells_pruned_range_pivot += 1
-                continue
-            records = self.storage.load(leaf.prefix)
-            stats.cells_accessed += 1
-            stats.records_scanned += len(records)
-            candidates.extend(self._pivot_filter(q, radius, records, stats))
-        stats.candidates = len(candidates)
-        return candidates
+        groups = self._range_groups_batch(q[np.newaxis, :], radius, [stats])[0]
+        return [record for _prefix, kept in groups for record in kept]
 
     def _double_pivot_bound(
         self, q: np.ndarray, order: np.ndarray, prefix: tuple[int, ...]
@@ -491,20 +477,10 @@ class MIndex:
         if np.any(lows > highs):
             raise QueryError("interval lows must not exceed highs")
         stats = stats if stats is not None else RangeSearchStats()
-        candidates: list[IndexedRecord] = []
-        for leaf in self.tree.leaves():
-            stats.cells_examined += 1
-            if self._interval_prunes_leaf(lows, highs, leaf):
-                stats.cells_pruned_range_pivot += 1
-                continue
-            records = self.storage.load(leaf.prefix)
-            stats.cells_accessed += 1
-            stats.records_scanned += len(records)
-            candidates.extend(
-                self._interval_filter(lows, highs, records, stats)
-            )
-        stats.candidates = len(candidates)
-        return candidates
+        groups = self._range_transformed_groups_batch(
+            lows[np.newaxis, :], highs[np.newaxis, :], [stats]
+        )[0]
+        return [record for _prefix, kept in groups for record in kept]
 
     @staticmethod
     def _interval_prunes_leaf(
@@ -640,6 +616,55 @@ class MIndex:
         per-leaf loop — and bucket loads plus the per-bucket permutation
         matrices are shared across the batch.
         """
+        groups_per_query = self._knn_groups_batch(
+            query_permutations, cand_size, max_cells
+        )
+        results: list[list[IndexedRecord]] = []
+        for groups in groups_per_query:
+            collected = [
+                (promise, score, record)
+                for promise, _prefix, records, scores in groups
+                for score, record in zip(scores, records)
+            ]
+            collected.sort(key=lambda item: (item[0], item[1], item[2].oid))
+            results.append(
+                [record for _p, _s, record in collected[:cand_size]]
+            )
+        return results
+
+    def approx_knn_scatter_batch(
+        self,
+        query_permutations: np.ndarray,
+        cand_size: int,
+        *,
+        max_cells: int | None = None,
+    ) -> list[list[tuple]]:
+        """Per-query visited leaf groups for scatter–gather kNN.
+
+        Each group is ``(promise, prefix, records, scores)`` in this
+        index's visit order, produced under the *local* stopping rule
+        (stop once this index alone collected ``cand_size`` records or
+        accessed ``max_cells`` cells). For any shard of a prefix-
+        partitioned cluster, the shard-local visit order is the global
+        visit order restricted to the shard's leaves, so the local
+        prefix of visited leaves is a superset of what the global
+        stopping rule needs — the router can replay the rule over the
+        merged group stream and reproduce the single-server candidate
+        set bit for bit.
+        """
+        return self._knn_groups_batch(
+            query_permutations, cand_size, max_cells
+        )
+
+    def _knn_groups_batch(
+        self,
+        query_permutations: np.ndarray,
+        cand_size: int,
+        max_cells: int | None,
+    ) -> list[list[tuple]]:
+        """The shared batch kNN traversal: per query, the visited
+        ``(promise, prefix, records, scores)`` leaf groups in promise
+        order, with vectorized promises and shared bucket loads."""
         perms = np.asarray(query_permutations, dtype=np.int64)
         if perms.ndim != 2 or perms.shape[1] != self.n_pivots:
             raise QueryError(
@@ -685,13 +710,14 @@ class MIndex:
         prefix_stack_cache: dict[tuple[int, ...], np.ndarray] = {}
         depth = min(_RANK_PREFIX, self.n_pivots)
         positions = np.arange(depth, dtype=np.int64)
-        results: list[list[IndexedRecord]] = []
+        groups_per_query: list[list[tuple]] = []
         for qi in range(n_queries):
             ordered = np.lexsort((prefix_rank, promises[qi]))
-            collected: list[tuple[float, float, IndexedRecord]] = []
+            groups: list[tuple] = []
+            n_collected = 0
             cells_accessed = 0
             for li in ordered:
-                if len(collected) >= cand_size:
+                if n_collected >= cand_size:
                     break
                 if max_cells is not None and cells_accessed >= max_cells:
                     break
@@ -713,13 +739,10 @@ class MIndex:
                     .astype(np.float64)
                 )
                 promise = float(promises[qi, li])
-                collected.extend(
-                    (promise, score, record)
-                    for score, record in zip(scores, records)
-                )
-            collected.sort(key=lambda item: (item[0], item[1], item[2].oid))
-            results.append([record for _p, _s, record in collected[:cand_size]])
-        return results
+                groups.append((promise, leaf.prefix, records, scores))
+                n_collected += len(records)
+            groups_per_query.append(groups)
+        return groups_per_query
 
     @staticmethod
     def _promise_matrix(
@@ -809,14 +832,39 @@ class MIndex:
             if stats is not None
             else [RangeSearchStats() for _ in range(q_matrix.shape[0])]
         )
+        groups_per_query = self._range_groups_batch(
+            q_matrix, radius, stats_list
+        )
+        return [
+            [record for _prefix, kept in groups for record in kept]
+            for groups in groups_per_query
+        ]
+
+    def _range_groups_batch(
+        self,
+        q_matrix: np.ndarray,
+        radius: float,
+        stats_list: list[RangeSearchStats],
+    ) -> list[list[tuple[tuple[int, ...], list[IndexedRecord]]]]:
+        """Range candidates per query as ``(leaf_prefix, records)``
+        groups in leaf order.
+
+        Visits are restructured prune-first: every query's surviving
+        leaves are determined before any bucket is touched, then the
+        union of surviving cells is fetched through
+        :meth:`_bulk_load_leaves` — on the disk backend one
+        ``load_many`` call that orders chunk reads by on-disk locality
+        and decompresses all missing chunks in a single parallel kernel
+        batch. Per-query candidate order, pruning decisions and every
+        counter total are identical to the per-leaf load loop; only the
+        I/O schedule changes.
+        """
         leaves = self.tree.leaves()
-        bucket_cache: dict[tuple[int, ...], list[IndexedRecord]] = {}
-        matrix_cache: dict[tuple[int, ...], np.ndarray] = {}
-        results: list[list[IndexedRecord]] = []
+        survivors: list[list[int]] = []
         for q, query_stats in zip(q_matrix, stats_list):
             order = np.argsort(q, kind="stable")
-            candidates: list[IndexedRecord] = []
-            for leaf in leaves:
+            surviving: list[int] = []
+            for position, leaf in enumerate(leaves):
                 query_stats.cells_examined += 1
                 if self._double_pivot_bound(q, order, leaf.prefix) > radius:
                     query_stats.cells_pruned_double_pivot += 1
@@ -824,10 +872,28 @@ class MIndex:
                 if self._range_pivot_bound(q, leaf) > radius:
                     query_stats.cells_pruned_range_pivot += 1
                     continue
-                records = bucket_cache.get(leaf.prefix)
-                if records is None:
-                    records = self.storage.load(leaf.prefix)
-                    bucket_cache[leaf.prefix] = records
+                surviving.append(position)
+            survivors.append(surviving)
+        bucket_cache = self._bulk_load_leaves(
+            [
+                leaves[position].prefix
+                for position in sorted(
+                    {p for surviving in survivors for p in surviving}
+                )
+            ]
+        )
+        matrix_cache: dict[tuple[int, ...], np.ndarray] = {}
+        groups_per_query: list[
+            list[tuple[tuple[int, ...], list[IndexedRecord]]]
+        ] = []
+        for q, surviving, query_stats in zip(
+            q_matrix, survivors, stats_list
+        ):
+            groups: list[tuple[tuple[int, ...], list[IndexedRecord]]] = []
+            n_candidates = 0
+            for position in surviving:
+                leaf = leaves[position]
+                records = bucket_cache[leaf.prefix]
                 query_stats.cells_accessed += 1
                 query_stats.records_scanned += len(records)
                 if not records:
@@ -839,12 +905,15 @@ class MIndex:
                 lower_bounds = np.abs(matrix - q).max(axis=1)
                 keep = lower_bounds <= radius
                 query_stats.records_filtered += int((~keep).sum())
-                candidates.extend(
+                kept = [
                     record for record, flag in zip(records, keep) if flag
-                )
-            query_stats.candidates = len(candidates)
-            results.append(candidates)
-        return results
+                ]
+                n_candidates += len(kept)
+                if kept:
+                    groups.append((leaf.prefix, kept))
+            query_stats.candidates = n_candidates
+            groups_per_query.append(groups)
+        return groups_per_query
 
     def range_search_transformed_batch(
         self,
@@ -880,23 +949,56 @@ class MIndex:
             if stats is not None
             else [RangeSearchStats() for _ in range(low_matrix.shape[0])]
         )
+        groups_per_query = self._range_transformed_groups_batch(
+            low_matrix, high_matrix, stats_list
+        )
+        return [
+            [record for _prefix, kept in groups for record in kept]
+            for groups in groups_per_query
+        ]
+
+    def _range_transformed_groups_batch(
+        self,
+        low_matrix: np.ndarray,
+        high_matrix: np.ndarray,
+        stats_list: list[RangeSearchStats],
+    ) -> list[list[tuple[tuple[int, ...], list[IndexedRecord]]]]:
+        """Transformed-interval analog of :meth:`_range_groups_batch`:
+        prune every query first, prefetch the union of surviving cells
+        in one :meth:`_bulk_load_leaves` call, then filter."""
         leaves = self.tree.leaves()
-        bucket_cache: dict[tuple[int, ...], list[IndexedRecord]] = {}
-        matrix_cache: dict[tuple[int, ...], np.ndarray] = {}
-        results: list[list[IndexedRecord]] = []
+        survivors: list[list[int]] = []
         for low, high, query_stats in zip(
             low_matrix, high_matrix, stats_list
         ):
-            candidates: list[IndexedRecord] = []
-            for leaf in leaves:
+            surviving: list[int] = []
+            for position, leaf in enumerate(leaves):
                 query_stats.cells_examined += 1
                 if self._interval_prunes_leaf(low, high, leaf):
                     query_stats.cells_pruned_range_pivot += 1
                     continue
-                records = bucket_cache.get(leaf.prefix)
-                if records is None:
-                    records = self.storage.load(leaf.prefix)
-                    bucket_cache[leaf.prefix] = records
+                surviving.append(position)
+            survivors.append(surviving)
+        bucket_cache = self._bulk_load_leaves(
+            [
+                leaves[position].prefix
+                for position in sorted(
+                    {p for surviving in survivors for p in surviving}
+                )
+            ]
+        )
+        matrix_cache: dict[tuple[int, ...], np.ndarray] = {}
+        groups_per_query: list[
+            list[tuple[tuple[int, ...], list[IndexedRecord]]]
+        ] = []
+        for low, high, surviving, query_stats in zip(
+            low_matrix, high_matrix, survivors, stats_list
+        ):
+            groups: list[tuple[tuple[int, ...], list[IndexedRecord]]] = []
+            n_candidates = 0
+            for position in surviving:
+                leaf = leaves[position]
+                records = bucket_cache[leaf.prefix]
                 query_stats.cells_accessed += 1
                 query_stats.records_scanned += len(records)
                 if not records:
@@ -907,12 +1009,27 @@ class MIndex:
                     matrix_cache[leaf.prefix] = matrix
                 keep = np.all((matrix >= low) & (matrix <= high), axis=1)
                 query_stats.records_filtered += int((~keep).sum())
-                candidates.extend(
+                kept = [
                     record for record, flag in zip(records, keep) if flag
-                )
-            query_stats.candidates = len(candidates)
-            results.append(candidates)
-        return results
+                ]
+                n_candidates += len(kept)
+                if kept:
+                    groups.append((leaf.prefix, kept))
+            query_stats.candidates = n_candidates
+            groups_per_query.append(groups)
+        return groups_per_query
+
+    def _bulk_load_leaves(
+        self, prefixes: list[tuple[int, ...]]
+    ) -> dict[tuple[int, ...], list[IndexedRecord]]:
+        """Fetch many cells at once, through the backend's chunk-aware
+        ``load_many`` prefetcher when it has one (the disk backend
+        orders chunk reads by file offset and decompresses misses in
+        one parallel kernel batch), falling back to per-cell loads."""
+        load_many = getattr(self.storage, "load_many", None)
+        if load_many is not None:
+            return load_many(prefixes)
+        return {prefix: self.storage.load(prefix) for prefix in prefixes}
 
     @staticmethod
     def _distance_matrix(records: list[IndexedRecord]) -> np.ndarray:
@@ -923,6 +1040,144 @@ class MIndex:
                 "distances (the precise strategy)"
             )
         return np.stack([r.distances for r in records])
+
+    # ------------------------------------------------------------------
+    # scatter–gather sharding surface
+    # ------------------------------------------------------------------
+
+    def range_scatter_batch(
+        self, query_distances: np.ndarray, radius: float
+    ) -> list[list[tuple]]:
+        """Per-query range candidates as ``(top_pivot, records)`` groups
+        for scatter–gather merging.
+
+        Validation and per-leaf work are exactly those of
+        :meth:`range_search_batch`; the filtered records are regrouped
+        by top-level pivot (``-1`` while this index's root has not
+        split), in leaf order within each group. Because leaves are
+        visited in lexicographic prefix order and a prefix-partitioned
+        shard holds *contiguous* top-pivot runs, a router can sort the
+        groups of all shards by top pivot and concatenate to reproduce
+        the single-server candidate order.
+        """
+        q_matrix = np.asarray(query_distances, dtype=np.float64)
+        if q_matrix.ndim != 2 or q_matrix.shape[1] != self.n_pivots:
+            raise QueryError(
+                f"query distances must have shape (batch, {self.n_pivots}), "
+                f"got {q_matrix.shape}"
+            )
+        if radius < 0:
+            raise QueryError(f"radius must be >= 0, got {radius}")
+        stats_list = [RangeSearchStats() for _ in range(q_matrix.shape[0])]
+        groups_per_query = self._range_groups_batch(
+            q_matrix, radius, stats_list
+        )
+        return [self._top_pivot_groups(groups) for groups in groups_per_query]
+
+    def range_transformed_scatter_batch(
+        self, lows: np.ndarray, highs: np.ndarray
+    ) -> list[list[tuple]]:
+        """Transformed-interval analog of :meth:`range_scatter_batch`."""
+        low_matrix = np.asarray(lows, dtype=np.float64)
+        high_matrix = np.asarray(highs, dtype=np.float64)
+        if (
+            low_matrix.ndim != 2
+            or low_matrix.shape[1] != self.n_pivots
+            or high_matrix.shape != low_matrix.shape
+        ):
+            raise QueryError(
+                f"interval matrices must have shape (batch, "
+                f"{self.n_pivots}), got {low_matrix.shape} and "
+                f"{high_matrix.shape}"
+            )
+        if np.any(low_matrix > high_matrix):
+            raise QueryError("interval lows must not exceed highs")
+        stats_list = [
+            RangeSearchStats() for _ in range(low_matrix.shape[0])
+        ]
+        groups_per_query = self._range_transformed_groups_batch(
+            low_matrix, high_matrix, stats_list
+        )
+        return [self._top_pivot_groups(groups) for groups in groups_per_query]
+
+    @staticmethod
+    def _top_pivot_groups(
+        groups: list[tuple[tuple[int, ...], list[IndexedRecord]]],
+    ) -> list[tuple]:
+        """Merge leaf-order ``(prefix, records)`` groups into top-pivot
+        runs; leaves of one top pivot are consecutive in the sorted
+        leaf order, so one linear pass suffices."""
+        merged: list[tuple[int, list[IndexedRecord]]] = []
+        for prefix, kept in groups:
+            top_pivot = prefix[0] if prefix else -1
+            if merged and merged[-1][0] == top_pivot:
+                merged[-1][1].extend(kept)
+            else:
+                merged.append((top_pivot, list(kept)))
+        return merged
+
+    def export_top_pivots(self, pivots: set[int]) -> list[IndexedRecord]:
+        """All records whose top-level permutation element is in
+        ``pivots``, for handing a prefix range to another shard.
+
+        Read-only; the records come back in lexicographic leaf order
+        (within a leaf, storage order), ready to be replayed through an
+        ``insert`` on the receiving shard.
+        """
+        wanted = {int(pivot) for pivot in pivots}
+        exported: list[IndexedRecord] = []
+        for leaf in self.tree.leaves():
+            if leaf.count == 0:
+                continue
+            if leaf.prefix:
+                if leaf.prefix[0] in wanted:
+                    exported.extend(self.storage.load(leaf.prefix))
+            else:
+                exported.extend(
+                    record
+                    for record in self.storage.load(leaf.prefix)
+                    if int(record.ensure_permutation()[0]) in wanted
+                )
+        return exported
+
+    def drop_top_pivots(self, pivots: set[int]) -> int:
+        """Remove every record whose top-level permutation element is in
+        ``pivots``; returns the number removed.
+
+        The rebalance counterpart of :meth:`export_top_pivots`: the
+        router copies a prefix range to its new shard first, then drops
+        it here, so a failure between the two steps leaves duplicates
+        (suppressed by the router's merge) rather than losing records.
+        Emptied leaves stay in the tree, exactly like :meth:`delete`.
+        """
+        wanted = {int(pivot) for pivot in pivots}
+        removed = 0
+        for leaf in self.tree.leaves():
+            if leaf.count == 0:
+                continue
+            if leaf.prefix:
+                if leaf.prefix[0] not in wanted:
+                    continue
+                removed += leaf.count
+                self.storage.delete(leaf.prefix)
+                leaf.rebuild_from([])
+            else:
+                records = self.storage.load(leaf.prefix)
+                remaining = [
+                    record
+                    for record in records
+                    if int(record.ensure_permutation()[0]) not in wanted
+                ]
+                if len(remaining) == len(records):
+                    continue
+                removed += len(records) - len(remaining)
+                if remaining:
+                    self.storage.save(leaf.prefix, remaining)
+                else:
+                    self.storage.delete(leaf.prefix)
+                leaf.rebuild_from(remaining)
+        self._n_records -= removed
+        return removed
 
     # ------------------------------------------------------------------
     # introspection

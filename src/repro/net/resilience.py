@@ -70,11 +70,15 @@ __all__ = [
 ]
 
 #: methods that change server state; they always travel with an
-#: idempotency key so a retry can never double-apply
-MUTATING_METHODS = frozenset({"insert", "insert_bulk", "delete"})
+#: idempotency key so a retry can never double-apply (``drop_cells`` —
+#: the destructive half of a shard rebalance — included)
+MUTATING_METHODS = frozenset(
+    {"insert", "insert_bulk", "delete", "drop_cells"}
+)
 
 #: methods safe to resend without a key (answers are pure functions of
-#: the index state; re-executing one is harmless)
+#: the index state; re-executing one is harmless — including the
+#: scatter searches, the rebalance export and the cell dump)
 READ_ONLY_METHODS = frozenset(
     {
         "range",
@@ -83,6 +87,11 @@ READ_ONLY_METHODS = frozenset(
         "knn_batch",
         "range_batch",
         "range_transformed_batch",
+        "knn_scatter",
+        "range_scatter",
+        "range_transformed_scatter",
+        "export_cells",
+        "dump_cells",
         "stats",
         "ping",
         "healthz",

@@ -88,6 +88,19 @@ class MemoryStorage:
             self.reads += 1
         return list(records)
 
+    def load_many(self, cell_ids) -> dict:
+        """Return ``{cell_id: records}`` for many cells in one call.
+
+        There is no I/O schedule to optimize in memory, so this is
+        exactly a :meth:`load` loop over the (deduplicated) ids — it
+        exists so the backends share the bulk-load surface the range
+        prefetcher targets, with identical accounting on both.
+        """
+        return {
+            cell_id: self.load(cell_id)
+            for cell_id in dict.fromkeys(cell_ids)
+        }
+
     def delete(self, cell_id: Hashable) -> None:
         """Remove a cell entirely; charged as one physical write."""
         if cell_id not in self._cells:

@@ -1,0 +1,445 @@
+"""Shard map, scatter–gather merges and router behavior.
+
+The cluster's core claim is *bit-identity*: a router over N shards
+answers every query with the exact response a single server would have
+produced. These tests pin the pieces — the deterministic shard map,
+the merge order of the candidate streams, oid dedup, strict vs
+degraded shard-loss handling, and the rebalance round trip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    LocalShardCluster,
+    ShardMap,
+    ShardRouter,
+    merge_stats,
+)
+from repro.core.records import CandidateEntry, RecordBatch
+from repro.core.server import SimilarityCloudServer
+from repro.exceptions import (
+    ChannelError,
+    ProtocolError,
+    ShardUnavailableError,
+)
+from repro.metric.permutations import pivot_permutations
+from repro.net.channel import InProcessChannel
+from repro.net.resilience import RetryPolicy
+from repro.net.rpc import RpcClient
+from repro.wire.encoding import Reader, Writer
+
+N_PIVOTS = 12
+BUCKET = 16
+
+
+# ---------------------------------------------------------------------------
+# shard map
+
+
+class TestShardMap:
+    def test_uniform_partitions_every_pivot_once(self):
+        for n_shards in (1, 2, 3, 4, 7, 12):
+            shard_map = ShardMap.uniform(12, n_shards)
+            owned = [shard_map.pivots_of(s) for s in range(n_shards)]
+            flat = [p for pivots in owned for p in pivots]
+            assert sorted(flat) == list(range(12))
+            # contiguous blocks, ascending by shard
+            assert flat == sorted(flat)
+
+    def test_uniform_is_deterministic(self):
+        assert ShardMap.uniform(30, 4) == ShardMap.uniform(30, 4)
+
+    def test_wire_round_trip(self):
+        shard_map = ShardMap.uniform(17, 5).moved([0, 16], 2)
+        assert ShardMap.from_bytes(shard_map.to_bytes()) == shard_map
+
+    def test_split_rows_partitions_batch(self):
+        shard_map = ShardMap.uniform(10, 3)
+        tops = np.array([9, 0, 5, 5, 2, 7], dtype=np.int64)
+        rows = shard_map.split_rows(tops)
+        assert len(rows) == 3
+        together = np.sort(np.concatenate(rows))
+        assert np.array_equal(together, np.arange(6))
+        for shard, indices in enumerate(rows):
+            assert all(
+                shard_map.shard_of(int(tops[i])) == shard for i in indices
+            )
+
+    def test_moved_reassigns_without_mutating(self):
+        original = ShardMap.uniform(8, 2)
+        moved = original.moved([0, 1], 1)
+        assert moved.shard_of(0) == 1 and moved.shard_of(1) == 1
+        assert original.shard_of(0) == 0  # immutable
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            ShardMap.uniform(4, 5)  # more shards than pivots
+        with pytest.raises(ProtocolError):
+            ShardMap(2, [0, 1, 2])  # shard 2 out of range
+        with pytest.raises(ProtocolError):
+            ShardMap.uniform(8, 2).shard_of(8)
+        with pytest.raises(ProtocolError):
+            ShardMap.uniform(8, 2).split_rows(np.array([8]))
+
+
+# ---------------------------------------------------------------------------
+# merges (pure functions over synthetic payloads)
+
+
+def test_merge_stats_sums_and_maxes():
+    merged = merge_stats(
+        [
+            {"records": 10.0, "max_level": 2.0, "occupied_cells": 2.0},
+            {"records": 30.0, "max_level": 3.0, "occupied_cells": 6.0},
+        ]
+    )
+    assert merged["records"] == 40.0
+    assert merged["max_level"] == 3.0  # structural bound: max, not sum
+    assert merged["avg_occupied_bucket"] == 5.0  # 40 records / 8 cells
+
+
+# ---------------------------------------------------------------------------
+# router over a real cluster (in-process, plain clients)
+
+
+def _make_records(n, rng, pivots=N_PIVOTS):
+    distances = rng.uniform(0.0, 10.0, size=(n, pivots))
+    permutations = pivot_permutations(distances)
+    oids = np.arange(n, dtype=np.uint64)
+    payloads = [rng.bytes(24) for _ in range(n)]
+    return oids, permutations, distances, payloads
+
+
+def _insert_bulk_body(oids, permutations, distances, payloads):
+    batch = RecordBatch(oids, permutations, distances, payloads)
+    return batch.write_to(Writer()).getvalue()
+
+
+def _read_candidates(reader):
+    count = reader.u32()
+    return [CandidateEntry.read_from(reader) for _ in range(count)]
+
+
+def _read_candidate_lists(reader):
+    # the batched response dedups payloads into a unique table and
+    # references it by index per query (see write_candidate_lists)
+    uniques = [
+        CandidateEntry(reader.u64(), reader.blob())
+        for _ in range(reader.u32())
+    ]
+    lists = [
+        [uniques[int(i)] for i in reader.i32_array()]
+        for _ in range(reader.u32())
+    ]
+    reader.expect_end()
+    return lists
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(42)
+    return _make_records(500, rng)
+
+
+@pytest.fixture(scope="module")
+def single_server(corpus):
+    server = SimilarityCloudServer(N_PIVOTS, BUCKET)
+    client = RpcClient(InProcessChannel(server.handle))
+    client.call("insert_bulk", _insert_bulk_body(*corpus))
+    yield client
+    server.close()
+
+
+def _build_cluster(corpus, n_shards):
+    cluster = LocalShardCluster(
+        N_PIVOTS, BUCKET, n_shards=n_shards, latency=0.0, bandwidth=None
+    )
+    router = cluster.router(resilient=False)
+    router.call("insert_bulk", _insert_bulk_body(*corpus))
+    return cluster, router
+
+def _knn_body(perm_rows, cand_size, max_cells=0):
+    return (
+        Writer()
+        .i32_matrix(np.asarray(perm_rows, dtype=np.int32))
+        .u32(cand_size)
+        .u32(max_cells)
+        .getvalue()
+    )
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 3, 4])
+def test_knn_batch_bit_identical_to_single_server(
+    corpus, single_server, n_shards
+):
+    rng = np.random.default_rng(7)
+    _oids, query_perms, _d, _p = _make_records(20, rng)
+    body = _knn_body(query_perms, cand_size=40, max_cells=6)
+    expected = _read_candidate_lists(single_server.call("knn_batch", body))
+    cluster, router = _build_cluster(corpus, n_shards)
+    try:
+        got = _read_candidate_lists(router.call("knn_batch", body))
+        assert got == expected
+        # re-encoding both through the shared writer proves the byte
+        # streams (not just the decoded sets) coincide
+        from repro.wire.scatter import write_candidate_lists
+
+        assert (
+            write_candidate_lists(got).getvalue()
+            == write_candidate_lists(expected).getvalue()
+        )
+    finally:
+        router.close()
+        cluster.close()
+
+
+@pytest.mark.parametrize("n_shards", [2, 4])
+def test_range_batch_bit_identical_to_single_server(
+    corpus, single_server, n_shards
+):
+    rng = np.random.default_rng(11)
+    query_distances = rng.uniform(0.0, 10.0, size=(10, N_PIVOTS))
+    body = (
+        Writer().f64_matrix(query_distances).f64(6.0).getvalue()
+    )
+    expected = _read_candidate_lists(
+        single_server.call("range_batch", body)
+    )
+    assert any(expected)  # the radius actually catches candidates
+    cluster, router = _build_cluster(corpus, n_shards)
+    try:
+        got = _read_candidate_lists(router.call("range_batch", body))
+        assert got == expected
+    finally:
+        router.close()
+        cluster.close()
+
+
+def test_single_query_methods_route_through_scatter(corpus, single_server):
+    rng = np.random.default_rng(13)
+    _o, query_perms, _d, _p = _make_records(1, rng)
+    knn_body = (
+        Writer()
+        .i32_array(query_perms[0])
+        .u32(25)
+        .u32(0)
+        .getvalue()
+    )
+    expected = _read_candidates(single_server.call("approx_knn", knn_body))
+    cluster, router = _build_cluster(corpus, 3)
+    try:
+        reader = router.call("approx_knn", knn_body)
+        got = _read_candidates(reader)
+        reader.expect_end()
+        assert got == expected
+    finally:
+        router.close()
+        cluster.close()
+
+
+def test_duplicate_oids_across_shards_are_suppressed(corpus):
+    cluster, router = _build_cluster(corpus, 2)
+    try:
+        # plant the same record on BOTH shards directly (the transient
+        # state a rebalance passes through between copy and delete)
+        rng = np.random.default_rng(3)
+        oids, perms, dists, payloads = _make_records(1, rng)
+        oids = oids + 9999
+        body = RecordBatch(oids, perms, dists, payloads).write_to(Writer())
+        for rpc in router.shard_clients:
+            rpc.call("insert_bulk", body.getvalue())
+        query = _knn_body(perms, cand_size=600)
+        lists = _read_candidate_lists(router.call("knn_batch", query))
+        hits = [c.oid for c in lists[0] if c.oid == 9999]
+        assert hits == [9999]  # seen once, not once per shard
+    finally:
+        router.close()
+        cluster.close()
+
+
+def test_insert_and_delete_route_by_top_pivot(corpus):
+    cluster, router = _build_cluster(corpus, 4)
+    try:
+        total = sum(len(server.index) for server in cluster.servers)
+        assert total == 500
+        # per-shard record counts match the shard map's pivot ownership
+        for shard, server in enumerate(cluster.servers):
+            owned = set(router.shard_map.pivots_of(shard))
+            tops = {
+                int(record.ensure_permutation()[0])
+                for cell in server.storage.cells()
+                for record in server.storage.load(cell)
+            }
+            assert tops <= owned
+        # healthz aggregates the cluster-wide record count
+        health = router.call("healthz")
+        assert health.string() == "ok"
+        assert health.u64() == 500
+    finally:
+        router.close()
+        cluster.close()
+
+
+def test_cluster_stats_reconcile(corpus):
+    cluster, router = _build_cluster(corpus, 4)
+    try:
+        per_shard, merged = router.cluster_stats()
+        assert merged["shards"] == 4.0
+        assert merged["records"] == 500.0
+        assert merged["records"] == sum(
+            stats["records"] for stats in per_shard.values()
+        )
+        assert merged["leaf_cells"] == sum(
+            stats["leaf_cells"] for stats in per_shard.values()
+        )
+        # the stats RPC itself returns the merged view
+        reader = router.call("stats")
+        count = reader.u32()
+        flat = {reader.string(): reader.f64() for _ in range(count)}
+        assert flat["records"] == 500.0
+    finally:
+        router.close()
+        cluster.close()
+
+
+def test_rebalance_moves_pivots_with_zero_loss(corpus):
+    cluster, router = _build_cluster(corpus, 2)
+    try:
+        rng = np.random.default_rng(17)
+        _o, query_perms, _d, _p = _make_records(8, rng)
+        query = _knn_body(query_perms, cand_size=50, max_cells=5)
+        before = _read_candidate_lists(router.call("knn_batch", query))
+        donor = router.shard_map.pivots_of(0)[0]
+        source_size = len(cluster.servers[0].index)
+        moved = router.rebalance([donor], target=1)
+        assert moved > 0
+        assert router.shard_map.shard_of(donor) == 1
+        assert len(cluster.servers[0].index) == source_size - moved
+        assert sum(len(server.index) for server in cluster.servers) == 500
+        after = _read_candidate_lists(router.call("knn_batch", query))
+        assert after == before  # bit-identical across the move
+        # and the range is really gone from the source
+        for cell in cluster.servers[0].storage.cells():
+            for record in cluster.servers[0].storage.load(cell):
+                assert int(record.ensure_permutation()[0]) != donor
+    finally:
+        router.close()
+        cluster.close()
+
+
+# ---------------------------------------------------------------------------
+# shard loss
+
+
+class _DeadChannel:
+    """A channel whose peer is gone: every request fails."""
+
+    bytes_sent = 0
+    bytes_received = 0
+    bytes_total = 0
+    communication_time = 0.0
+    requests = 0
+
+    def request(self, payload, *, deadline=None):
+        raise ChannelError("connection refused")
+
+    def reset_accounting(self):
+        pass
+
+    def close(self):
+        pass
+
+
+def _router_with_dead_shard(cluster, *, allow_partial):
+    factories = [cluster.channel_factory(0), _DeadChannel]
+    return ShardRouter(
+        cluster.shard_map,
+        factories,
+        resilient=True,
+        policy=RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0),
+        allow_partial=allow_partial,
+        sleep=lambda _s: None,
+    )
+
+
+def test_dead_shard_raises_typed_error_in_strict_mode(corpus):
+    cluster = LocalShardCluster(
+        N_PIVOTS, BUCKET, n_shards=2, latency=0.0, bandwidth=None
+    )
+    router = _router_with_dead_shard(cluster, allow_partial=False)
+    try:
+        rng = np.random.default_rng(5)
+        _o, perms, _d, _p = _make_records(2, rng)
+        with pytest.raises(ShardUnavailableError) as excinfo:
+            router.call("knn_batch", _knn_body(perms, cand_size=10))
+        assert excinfo.value.shard == 1
+    finally:
+        router.close()
+        cluster.close()
+
+
+def test_dead_shard_degrades_gracefully_when_partial_allowed(corpus):
+    cluster = LocalShardCluster(
+        N_PIVOTS, BUCKET, n_shards=2, latency=0.0, bandwidth=None
+    )
+    live_router = cluster.router(resilient=False)
+    router = _router_with_dead_shard(cluster, allow_partial=True)
+    try:
+        # load only shard 0 (the live one) so degraded answers are
+        # complete and comparable
+        rng = np.random.default_rng(42)
+        oids, perms, dists, payloads = _make_records(500, rng)
+        keep = np.array(
+            [
+                cluster.shard_map.shard_of(int(p[0])) == 0
+                for p in perms
+            ]
+        )
+        idx = np.flatnonzero(keep)
+        live_router.shard_clients[0].call(
+            "insert_bulk",
+            _insert_bulk_body(
+                oids[idx],
+                perms[idx],
+                dists[idx],
+                [payloads[i] for i in idx],
+            ),
+        )
+        _o, query_perms, _d, _p = _make_records(4, rng)
+        query = _knn_body(query_perms, cand_size=30)
+        lists = _read_candidate_lists(router.call("knn_batch", query))
+        assert router.shards_skipped == 1
+        expected = _read_candidate_lists(
+            live_router.call("knn_batch", query)
+        )
+        # shard 1 held nothing, so the degraded answer is the full one
+        assert lists == expected
+        # mutations never degrade
+        with pytest.raises(ShardUnavailableError):
+            router.call(
+                "insert_bulk", _insert_bulk_body(*_make_records(10, rng))
+            )
+        # the skip count reaches the merged stats view
+        _per, merged = router.cluster_stats()
+        assert merged["shards_skipped"] >= 1.0
+        assert merged["shards"] == 1.0
+    finally:
+        router.close()
+        live_router.close()
+        cluster.close()
+
+
+def test_router_rejects_mismatched_factories():
+    with pytest.raises(ProtocolError):
+        ShardRouter(ShardMap.uniform(8, 2), [lambda: None])
+
+
+def test_router_rejects_unroutable_method(corpus):
+    cluster, router = _build_cluster(corpus, 2)
+    try:
+        with pytest.raises(ProtocolError):
+            router.call("dump_cells_raw")
+    finally:
+        router.close()
+        cluster.close()
